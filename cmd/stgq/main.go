@@ -1,0 +1,138 @@
+// Command stgq answers social(-temporal) group queries against a dataset
+// file produced by stgqgen.
+//
+// Usage:
+//
+//	stgq -data real194.json -initiator 12 -p 5 -s 2 -k 2            # SGQ
+//	stgq -data real194.json -initiator 12 -p 5 -s 2 -k 2 -m 4      # STGQ
+//	stgq -data real194.json -initiator 12 -p 5 -s 2 -k 2 -m 4 -alg ip
+//	stgq -data real194.json -initiator 12 -p 5 -s 2 -m 4 -manual   # PCArrange
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	stgq "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "dataset JSON file (required)")
+		initiator = flag.Int("initiator", -1, "initiator vertex id (default: a busy member)")
+		p         = flag.Int("p", 4, "activity size (attendees incl. initiator)")
+		s         = flag.Int("s", 1, "social radius constraint (edges)")
+		k         = flag.Int("k", 2, "acquaintance constraint")
+		m         = flag.Int("m", 0, "activity length in slots (0 = SGQ, no temporal constraint)")
+		algName   = flag.String("alg", "select", "engine: select, baseline, or ip")
+		manual    = flag.Bool("manual", false, "simulate manual coordination (PCArrange) instead")
+		stats     = flag.Bool("stats", false, "print search statistics")
+		grid      = flag.Bool("grid", false, "render the group's availability around the window")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "stgq: -data is required (generate one with stgqgen)")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	pl := stgq.FromDataset(d)
+
+	q := stgq.PersonID(*initiator)
+	if *initiator < 0 {
+		q = stgq.PersonID(d.PickInitiator(75))
+		fmt.Printf("initiator not given; using vertex %d (degree %d)\n", q, d.Graph.Degree(int(q)))
+	}
+
+	var alg stgq.Algorithm
+	switch *algName {
+	case "select":
+		alg = stgq.AlgDefault
+	case "baseline":
+		alg = stgq.AlgBaseline
+	case "ip":
+		alg = stgq.AlgIP
+	default:
+		fmt.Fprintf(os.Stderr, "stgq: unknown -alg %q\n", *algName)
+		os.Exit(2)
+	}
+
+	base := stgq.SGQuery{Initiator: q, P: *p, S: *s, K: *k, Algorithm: alg}
+
+	switch {
+	case *manual:
+		if *m < 1 {
+			fmt.Fprintln(os.Stderr, "stgq: -manual needs -m >= 1")
+			os.Exit(2)
+		}
+		plan, err := pl.PlanManually(stgq.STGQuery{SGQuery: base, M: *m})
+		if err != nil {
+			queryFatal(err)
+		}
+		fmt.Printf("manual coordination assembled %d attendees, total distance %g, observed k=%d\n",
+			len(plan.Members), plan.TotalDistance, plan.ObservedK)
+		printMembers(plan.Members)
+		fmt.Printf("activity period: %s\n", plan.Window.Format())
+	case *m >= 1:
+		plan, err := pl.PlanActivity(stgq.STGQuery{SGQuery: base, M: *m})
+		if err != nil {
+			queryFatal(err)
+		}
+		fmt.Printf("optimal group (total distance %g) free %s\n", plan.TotalDistance, plan.Window.Format())
+		printMembers(plan.Members)
+		if *grid {
+			fmt.Print(pl.GridForPlan(plan, 4))
+		}
+		if *stats {
+			fmt.Printf("stats: %+v\n", plan.Stats)
+		}
+	default:
+		res, err := pl.FindGroup(base)
+		if err != nil {
+			queryFatal(err)
+		}
+		fmt.Printf("optimal group, total distance %g\n", res.TotalDistance)
+		printMembers(res.Members)
+		if *stats {
+			fmt.Printf("stats: %+v\n", res.Stats)
+		}
+	}
+}
+
+func printMembers(members []stgq.Member) {
+	for _, mb := range members {
+		name := mb.Name
+		if name == "" {
+			name = fmt.Sprintf("person-%d", mb.ID)
+		}
+		fmt.Printf("  %-20s distance %g\n", name, mb.Distance)
+	}
+}
+
+func queryFatal(err error) {
+	if errors.Is(err, stgq.ErrNoFeasibleGroup) {
+		fmt.Println("no feasible group: relax k, enlarge s, shrink p or m")
+		os.Exit(1)
+	}
+	if errors.Is(err, stgq.ErrCannotCoordinate) {
+		fmt.Println("manual coordination failed to assemble enough attendees")
+		os.Exit(1)
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stgq: %v\n", err)
+	os.Exit(1)
+}

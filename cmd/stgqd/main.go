@@ -1,0 +1,60 @@
+// Command stgqd serves the activity planner over HTTP — the "value-added
+// service" deployment of the paper's conclusion. Start empty or preloaded
+// with a dataset file:
+//
+//	stgqd -addr :8080
+//	stgqd -addr :8080 -data real194.json
+//
+// Then, for example:
+//
+//	curl -X POST localhost:8080/query/activity \
+//	     -d '{"initiator":12,"p":5,"s":2,"k":2,"m":4}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	stgq "repro"
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "optional dataset JSON to preload")
+		horizon = flag.Int("horizon", 7*stgq.SlotsPerDay, "schedule horizon in slots (empty start only)")
+	)
+	flag.Parse()
+
+	var srv *service.Server
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatalf("stgqd: %v", err)
+		}
+		d, err := dataset.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("stgqd: %v", err)
+		}
+		srv = service.NewWithPlanner(stgq.FromDataset(d))
+		fmt.Printf("stgqd: loaded %d people, %d friendships, %d slots\n",
+			d.Graph.NumVertices(), d.Graph.NumEdges(), d.Cal.Horizon())
+	} else {
+		srv = service.New(*horizon)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("stgqd: listening on %s\n", *addr)
+	log.Fatal(hs.ListenAndServe())
+}

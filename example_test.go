@@ -1,0 +1,103 @@
+package stgq_test
+
+import (
+	"fmt"
+
+	stgq "repro"
+)
+
+// buildExample constructs a small study group with evening availability.
+func buildExample() (*stgq.Planner, map[string]stgq.PersonID) {
+	pl := stgq.NewPlanner(stgq.SlotsPerDay)
+	ids := map[string]stgq.PersonID{}
+	for _, n := range []string{"ana", "ben", "chloe", "dinah"} {
+		ids[n] = pl.AddPerson(n)
+	}
+	pl.Connect(ids["ana"], ids["ben"], 4)     //nolint:errcheck
+	pl.Connect(ids["ana"], ids["chloe"], 6)   //nolint:errcheck
+	pl.Connect(ids["ana"], ids["dinah"], 9)   //nolint:errcheck
+	pl.Connect(ids["ben"], ids["chloe"], 3)   //nolint:errcheck
+	pl.Connect(ids["chloe"], ids["dinah"], 5) //nolint:errcheck
+	for _, id := range ids {
+		pl.SetAvailable(id, 36, 44) //nolint:errcheck
+	}
+	pl.SetBusy(ids["dinah"], 36, 40) //nolint:errcheck
+	return pl, ids
+}
+
+func ExamplePlanner_FindGroup() {
+	pl, ids := buildExample()
+	res, err := pl.FindGroup(stgq.SGQuery{
+		Initiator: ids["ana"],
+		P:         3, // three people including ana
+		S:         1, // direct friends only
+		K:         0, // everyone must know everyone
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, m := range res.Members {
+		fmt.Printf("%s (distance %g)\n", m.Name, m.Distance)
+	}
+	fmt.Println("total:", res.TotalDistance)
+	// Output:
+	// ana (distance 0)
+	// ben (distance 4)
+	// chloe (distance 6)
+	// total: 10
+}
+
+func ExamplePlanner_PlanActivity() {
+	pl, ids := buildExample()
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["ana"], P: 3, S: 1, K: 0},
+		M:       4, // two hours of half-hour slots
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("when:", plan.Window.Format())
+	fmt.Println("distance:", plan.TotalDistance)
+	// Output:
+	// when: day1 18:00 – day1 21:30
+	// distance: 10
+}
+
+func ExamplePlanner_PlanManually() {
+	pl, ids := buildExample()
+	manual, err := pl.PlanManually(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["ana"], P: 3, S: 1},
+		M:       4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("distance %g with %d stranger(s) per attendee at most\n",
+		manual.TotalDistance, manual.ObservedK)
+	// Output:
+	// distance 10 with 0 stranger(s) per attendee at most
+}
+
+func ExamplePlanner_SetSchedulePolicy() {
+	pl, ids := buildExample()
+	// ben stops sharing his calendar with anyone.
+	pl.SetSchedulePolicy(ids["ben"], stgq.ShareNone) //nolint:errcheck
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["ana"], P: 3, S: 1, K: 1},
+		M:       4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, m := range plan.Members {
+		fmt.Println(m.Name)
+	}
+	// Output:
+	// ana
+	// chloe
+	// dinah
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small social network with calendars, then answer one
+// SGQ (who should I invite?) and one STGQ (who and when?).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stgq "repro"
+)
+
+func main() {
+	// One day of half-hour slots.
+	pl := stgq.NewPlanner(stgq.SlotsPerDay)
+
+	// A study group: closeness comes from how often people work together
+	// (smaller distance = closer).
+	ana := pl.AddPerson("ana")
+	ben := pl.AddPerson("ben")
+	chloe := pl.AddPerson("chloe")
+	dinah := pl.AddPerson("dinah")
+	eli := pl.AddPerson("eli")
+	fay := pl.AddPerson("fay")
+
+	must(pl.Connect(ana, ben, 4))
+	must(pl.Connect(ana, chloe, 6))
+	must(pl.Connect(ana, dinah, 9))
+	must(pl.Connect(ana, eli, 12))
+	must(pl.Connect(ben, chloe, 3))
+	must(pl.Connect(ben, dinah, 8))
+	must(pl.Connect(chloe, dinah, 5))
+	must(pl.Connect(dinah, eli, 4))
+	must(pl.Connect(eli, fay, 2)) // fay is a friend of a friend
+
+	// Everyone is free in the evening (18:00–22:00) except conflicts below.
+	for _, p := range []stgq.PersonID{ana, ben, chloe, dinah, eli, fay} {
+		must(pl.SetAvailable(p, 36, 44))
+	}
+	must(pl.SetBusy(ben, 36, 38))   // ben has practice till 19:00
+	must(pl.SetBusy(chloe, 42, 44)) // chloe leaves at 21:00
+
+	// SGQ: four people including ana, everyone knows everyone (k=0),
+	// direct friends only (s=1).
+	grp, err := pl.FindGroup(stgq.SGQuery{Initiator: ana, P: 4, S: 1, K: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SGQ  p=4 s=1 k=0 → %v (total distance %g)\n", grp.Members, grp.TotalDistance)
+
+	// STGQ: same group requirements plus two consecutive hours (m=4).
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ana, P: 4, S: 1, K: 0},
+		M:       4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STGQ p=4 s=1 k=0 m=4 → %v\n", plan.Members)
+	fmt.Printf("     free together %s (total distance %g)\n", plan.Window.Format(), plan.TotalDistance)
+
+	// Relax the acquaintance constraint to reach fay through eli (s=2, k=1):
+	// a slightly looser but socially closer group may appear.
+	plan2, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ana, P: 4, S: 2, K: 1},
+		M:       4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STGQ p=4 s=2 k=1 m=4 → %v at %s\n", plan2.Members, plan2.Window.Format())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

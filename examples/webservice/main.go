@@ -1,0 +1,98 @@
+// Webservice demonstrates the HTTP deployment of the planner — the
+// "value-added service" the paper's conclusion describes. It starts the
+// service in-process on a loopback listener, provisions a small social
+// network over the REST API, and plans an activity as a client would.
+//
+// Run with:
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+func main() {
+	// Start the planner service on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.New(48)}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("planner service listening on", base)
+
+	post := func(path string, body any, into any) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e map[string]string
+			json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+			log.Fatalf("%s: %d %v", path, resp.StatusCode, e)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Provision a small team.
+	names := []string{"maya", "noor", "oscar", "priya", "quinn"}
+	ids := map[string]int{}
+	for _, n := range names {
+		var resp service.AddPersonResponse
+		post("/people", service.AddPersonRequest{Name: n}, &resp)
+		ids[n] = resp.ID
+	}
+	friendships := []struct {
+		a, b string
+		d    float64
+	}{
+		{"maya", "noor", 3}, {"maya", "oscar", 5}, {"maya", "priya", 8},
+		{"noor", "oscar", 2}, {"noor", "priya", 6}, {"oscar", "priya", 4},
+		{"priya", "quinn", 3},
+	}
+	for _, f := range friendships {
+		post("/friendships", service.FriendshipRequest{A: ids[f.a], B: ids[f.b], Distance: f.d}, nil)
+	}
+	// Everyone free in the evening, with a few conflicts.
+	for _, n := range names {
+		post("/availability", service.AvailabilityRequest{Person: ids[n], From: 36, To: 46, Available: true}, nil)
+	}
+	post("/availability", service.AvailabilityRequest{Person: ids["oscar"], From: 36, To: 40, Available: false}, nil)
+	post("/availability", service.AvailabilityRequest{Person: ids["quinn"], From: 42, To: 46, Available: false}, nil)
+
+	// Plan a two-hour get-together for four.
+	var plan service.PlanResponse
+	post("/query/activity", service.QueryRequest{
+		Initiator: ids["maya"], P: 4, S: 2, K: 1, M: 4,
+	}, &plan)
+
+	fmt.Printf("plan: total distance %g, window %s\n", plan.TotalDistance, plan.WindowHuman)
+	for _, m := range plan.Members {
+		fmt.Printf("  %-8s distance %g\n", m.Name, m.Distance)
+	}
+
+	// Compare with manual coordination.
+	var manual service.ManualResponse
+	post("/query/manual", service.QueryRequest{Initiator: ids["maya"], P: 4, S: 2, M: 4}, &manual)
+	fmt.Printf("manual coordination: distance %g with observed k=%d\n",
+		manual.TotalDistance, manual.ObservedK)
+}

@@ -1,0 +1,170 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section 5):
+//
+//   - the baseline algorithm for SGQ — exhaustive enumeration of all
+//     C(f−1, p−1) candidate groups (Section 1's "simple approach");
+//   - the baseline algorithm for STGQ — "sequentially considering each time
+//     slot and solving the corresponding SGQ problem" (Section 5.2), in two
+//     flavours: one that solves each activity period with SGSelect (the
+//     fair baseline that isolates the value of pivot time slots) and one
+//     that enumerates exhaustively per period.
+//
+// All baselines are exact; they differ from SGSelect/STGSelect only in
+// effort, which is what Figures 1(a)–1(f) measure.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// SGQ solves the social group query by exhaustive enumeration over the
+// radius graph: every subset of p−1 candidates (plus the initiator) is
+// generated, filtered by the acquaintance constraint, and scored.
+//
+// restrict, when non-nil, confines candidates to the given vertex set, as in
+// core.SGSelect.
+func SGQ(rg *socialgraph.RadiusGraph, p, k int, restrict *bitset.Set) (*core.Group, error) {
+	if p < 1 {
+		return nil, core.ErrBadParams
+	}
+	if p == 1 {
+		return &core.Group{Members: []int{0}, TotalDistance: 0}, nil
+	}
+	n := rg.N()
+	candidates := make([]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		if restrict == nil || restrict.Contains(v) {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) < p-1 {
+		return nil, core.ErrNoFeasibleGroup
+	}
+
+	best := math.Inf(1)
+	var bestSet *bitset.Set
+	members := bitset.New(n)
+	members.Add(0)
+
+	// Plain lexicographic combination enumeration; the acquaintance filter
+	// runs on complete groups only, exactly like the paper's baseline
+	// (Figure 2(b) enumerates full dendrograms before filtering).
+	var rec func(next, chosen int, dist float64)
+	rec = func(next, chosen int, dist float64) {
+		if chosen == p {
+			if dist < best && rg.GroupFeasible(members, k) {
+				best = dist
+				bestSet = members.Clone()
+			}
+			return
+		}
+		for i := next; i <= len(candidates)-(p-chosen); i++ {
+			v := candidates[i]
+			members.Add(v)
+			rec(i+1, chosen+1, dist+rg.Dist[v])
+			members.Remove(v)
+		}
+	}
+	rec(0, 1, 0)
+
+	if bestSet == nil {
+		return nil, core.ErrNoFeasibleGroup
+	}
+	return &core.Group{Members: bestSet.Indices(), TotalDistance: best}, nil
+}
+
+// STGQ solves the social-temporal group query by the paper's intuitive
+// approach: for every activity period [t, t+m−1], restrict the candidates to
+// the vertices available throughout the period and solve the corresponding
+// SGQ with SGSelect, keeping the overall minimum. This is the baseline of
+// Figures 1(e) and 1(f); it re-solves overlapping periods that STGSelect's
+// pivot slots handle in a single search.
+func STGQ(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, k, m int, opt core.Options) (*core.STGroup, error) {
+	return stgq(rg, cal, calUser, p, k, m, func(allowed *bitset.Set) (*core.Group, error) {
+		g, _, err := core.SGSelect(rg, p, k, allowed, opt)
+		return g, err
+	})
+}
+
+// STGQExhaustive is STGQ with the per-period SGQ solved by exhaustive
+// enumeration instead of SGSelect. It is the fully naive algorithm; use it
+// only on small instances.
+func STGQExhaustive(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, k, m int) (*core.STGroup, error) {
+	return stgq(rg, cal, calUser, p, k, m, func(allowed *bitset.Set) (*core.Group, error) {
+		return SGQ(rg, p, k, allowed)
+	})
+}
+
+func stgq(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, k, m int,
+	solve func(allowed *bitset.Set) (*core.Group, error)) (*core.STGroup, error) {
+	if p < 1 || m < 1 || len(calUser) != rg.N() {
+		return nil, core.ErrBadParams
+	}
+	n := rg.N()
+	best := math.Inf(1)
+	var bestGrp *core.Group
+	bestStart := -1
+	allowed := bitset.New(n)
+
+	for start := 0; start+m <= cal.Horizon(); start++ {
+		allowed.Clear()
+		count := 0
+		for v := 0; v < n; v++ {
+			if cal.AvailableDuring(calUser[v], start, m) {
+				allowed.Add(v)
+				count++
+			}
+		}
+		if !allowed.Contains(0) || count < p {
+			continue
+		}
+		grp, err := solve(allowed)
+		if err != nil {
+			continue
+		}
+		if grp.TotalDistance < best {
+			best = grp.TotalDistance
+			bestGrp = grp
+			bestStart = start
+		}
+	}
+	if bestGrp == nil {
+		return nil, core.ErrNoFeasibleGroup
+	}
+
+	// Report the maximal common interval around the winning period, matching
+	// STGSelect's output convention.
+	lo, hi := bestStart, bestStart+m-1
+	for lo-1 >= 0 && allAvailable(cal, calUser, bestGrp.Members, lo-1) {
+		lo--
+	}
+	for hi+1 < cal.Horizon() && allAvailable(cal, calUser, bestGrp.Members, hi+1) {
+		hi++
+	}
+	pivot := -1
+	for _, pv := range cal.PivotSlots(m) {
+		if pv >= bestStart && pv < bestStart+m {
+			pivot = pv
+			break
+		}
+	}
+	return &core.STGroup{
+		Group:    *bestGrp,
+		Interval: core.Period{Start: lo, End: hi},
+		Pivot:    pivot,
+	}, nil
+}
+
+func allAvailable(cal *schedule.Calendar, calUser []int, members []int, slot int) bool {
+	for _, v := range members {
+		if !cal.Available(calUser[v], slot) {
+			return false
+		}
+	}
+	return true
+}

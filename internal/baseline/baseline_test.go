@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// figure3Graph mirrors the core package's reconstruction of Figure 3(a).
+func figure3Graph(t testing.TB) (*socialgraph.Graph, map[string]int) {
+	t.Helper()
+	g := socialgraph.New()
+	ids := map[string]int{}
+	for _, name := range []string{"v2", "v3", "v4", "v6", "v7", "v8"} {
+		ids[name] = g.MustAddVertex(name)
+	}
+	add := func(a, b string, d float64) { g.MustAddEdge(ids[a], ids[b], d) }
+	add("v7", "v2", 17)
+	add("v7", "v3", 18)
+	add("v7", "v6", 23)
+	add("v7", "v8", 25)
+	add("v7", "v4", 27)
+	add("v2", "v4", 14)
+	add("v2", "v6", 19)
+	add("v3", "v4", 20)
+	add("v4", "v6", 29)
+	return g, ids
+}
+
+func figure3Calendar(t testing.TB, g *socialgraph.Graph, ids map[string]int) *schedule.Calendar {
+	t.Helper()
+	cal := schedule.NewCalendar(g.NumVertices(), 7)
+	avail := map[string][]int{
+		"v2": {0, 1, 2, 3, 4, 5, 6},
+		"v3": {1, 2, 4, 5},
+		"v4": {0, 1, 2, 3, 4, 6},
+		"v6": {1, 2, 3, 4, 5, 6},
+		"v7": {0, 1, 2, 3, 4, 5},
+		"v8": {0, 2, 4, 5},
+	}
+	for name, slots := range avail {
+		for _, s := range slots {
+			cal.SetAvailable(ids[name], s)
+		}
+	}
+	return cal
+}
+
+func TestBaselineSGQExample2(t *testing.T) {
+	g, ids := figure3Graph(t)
+	rg, _ := g.ExtractRadiusGraph(ids["v7"], 1)
+	grp, err := SGQ(rg, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.TotalDistance != 62 {
+		t.Errorf("distance = %v, want 62", grp.TotalDistance)
+	}
+}
+
+func TestBaselineSGQEdgeCases(t *testing.T) {
+	g, ids := figure3Graph(t)
+	rg, _ := g.ExtractRadiusGraph(ids["v7"], 1)
+	if _, err := SGQ(rg, 0, 1, nil); !errors.Is(err, core.ErrBadParams) {
+		t.Error("p=0 should be rejected")
+	}
+	grp, err := SGQ(rg, 1, 0, nil)
+	if err != nil || grp.TotalDistance != 0 {
+		t.Errorf("p=1: %+v, %v", grp, err)
+	}
+	if _, err := SGQ(rg, 9, 0, nil); !errors.Is(err, core.ErrNoFeasibleGroup) {
+		t.Errorf("oversized p: %v", err)
+	}
+}
+
+func TestBaselineSTGQExample3(t *testing.T) {
+	g, ids := figure3Graph(t)
+	cal := figure3Calendar(t, g, ids)
+	rg, _ := g.ExtractRadiusGraph(ids["v7"], 1)
+	calUser := make([]int, rg.N())
+	for i, o := range rg.Orig {
+		calUser[i] = o
+	}
+	for name, solve := range map[string]func() (*core.STGroup, error){
+		"sgselect-backed": func() (*core.STGroup, error) {
+			return STGQ(rg, cal, calUser, 4, 1, 3, core.DefaultOptions())
+		},
+		"exhaustive": func() (*core.STGroup, error) {
+			return STGQExhaustive(rg, cal, calUser, 4, 1, 3)
+		},
+	} {
+		got, err := solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.TotalDistance != 67 {
+			t.Errorf("%s: distance = %v, want 67", name, got.TotalDistance)
+		}
+		if got.Interval.Start != 1 || got.Interval.End != 4 {
+			t.Errorf("%s: interval = %+v, want [1,4]", name, got.Interval)
+		}
+		if got.Pivot != 2 {
+			t.Errorf("%s: pivot = %d, want 2", name, got.Pivot)
+		}
+	}
+}
+
+func TestBaselineSTGQInfeasible(t *testing.T) {
+	g, ids := figure3Graph(t)
+	cal := schedule.NewCalendar(g.NumVertices(), 6) // everyone busy
+	rg, _ := g.ExtractRadiusGraph(ids["v7"], 1)
+	calUser := make([]int, rg.N())
+	for i, o := range rg.Orig {
+		calUser[i] = o
+	}
+	if _, err := STGQ(rg, cal, calUser, 3, 1, 2, core.DefaultOptions()); !errors.Is(err, core.ErrNoFeasibleGroup) {
+		t.Errorf("err = %v, want ErrNoFeasibleGroup", err)
+	}
+	if _, err := STGQ(rg, cal, calUser, 0, 1, 2, core.DefaultOptions()); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("p=0: err = %v, want ErrBadParams", err)
+	}
+	if _, err := STGQ(rg, cal, calUser[:1], 3, 1, 2, core.DefaultOptions()); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("short calUser: err = %v, want ErrBadParams", err)
+	}
+}
+
+func randomInstance(r *rand.Rand) (*socialgraph.RadiusGraph, *schedule.Calendar, []int) {
+	n := 5 + r.Intn(5)
+	g := socialgraph.New()
+	g.AddVertices(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.45 {
+				g.MustAddEdge(u, v, float64(1+r.Intn(30)))
+			}
+		}
+	}
+	rg, err := g.ExtractRadiusGraph(0, 1+r.Intn(2))
+	if err != nil {
+		panic(err)
+	}
+	nn := rg.N()
+	horizon := 6 + r.Intn(14)
+	cal := schedule.NewCalendar(nn, horizon)
+	for u := 0; u < nn; u++ {
+		for s := 0; s < horizon; s++ {
+			if r.Float64() < 0.7 {
+				cal.SetAvailable(u, s)
+			}
+		}
+	}
+	calUser := make([]int, nn)
+	for i := range calUser {
+		calUser[i] = i
+	}
+	return rg, cal, calUser
+}
+
+// TestQuickBaselineMatchesSGSelect: the exhaustive baseline and SGSelect are
+// both exact, so they must agree everywhere.
+func TestQuickBaselineMatchesSGSelect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rg, _, _ := randomInstance(r)
+		p := 2 + r.Intn(4)
+		k := r.Intn(3)
+		b, errB := SGQ(rg, p, k, nil)
+		s, _, errS := core.SGSelect(rg, p, k, nil, core.DefaultOptions())
+		if (errB == nil) != (errS == nil) {
+			t.Logf("seed %d: baseline err %v, sgselect err %v", seed, errB, errS)
+			return false
+		}
+		if errB != nil {
+			return true
+		}
+		if b.TotalDistance != s.TotalDistance {
+			t.Logf("seed %d: baseline %v, sgselect %v", seed, b.TotalDistance, s.TotalDistance)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBaselineMatchesSTGSelect: three exact STGQ solvers must agree on
+// the optimum distance, and the returned intervals must be valid.
+func TestQuickBaselineMatchesSTGSelect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rg, cal, calUser := randomInstance(r)
+		p := 2 + r.Intn(3)
+		k := r.Intn(3)
+		m := 2 + r.Intn(3)
+		b, errB := STGQ(rg, cal, calUser, p, k, m, core.DefaultOptions())
+		e, errE := STGQExhaustive(rg, cal, calUser, p, k, m)
+		s, _, errS := core.STGSelect(rg, cal, calUser, p, k, m, core.DefaultOptions())
+		if (errB == nil) != (errS == nil) || (errE == nil) != (errS == nil) {
+			t.Logf("seed %d: errs %v / %v / %v", seed, errB, errE, errS)
+			return false
+		}
+		if errB != nil {
+			return true
+		}
+		if b.TotalDistance != s.TotalDistance || e.TotalDistance != s.TotalDistance {
+			t.Logf("seed %d: distances %v / %v / %v", seed, b.TotalDistance, e.TotalDistance, s.TotalDistance)
+			return false
+		}
+		if b.Interval.Len() < m || s.Interval.Len() < m {
+			return false
+		}
+		if math.IsInf(b.TotalDistance, 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGQRestrict(t *testing.T) {
+	g, ids := figure3Graph(t)
+	rg, _ := g.ExtractRadiusGraph(ids["v7"], 1)
+	allowed := bitset.New(rg.N())
+	for i, l := range rg.Labels {
+		if l == "v2" || l == "v4" || l == "v6" {
+			allowed.Add(i)
+		}
+	}
+	grp, err := SGQ(rg, 4, 1, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.TotalDistance != 67 {
+		t.Errorf("restricted distance = %v, want 67", grp.TotalDistance)
+	}
+}

@@ -1,0 +1,142 @@
+// Package coordinate implements the solution-quality comparison algorithms
+// of Section 5.1:
+//
+//   - PCArrange simulates manual activity coordination over the phone: the
+//     initiator invites her closest friends one at a time and narrows the
+//     candidate activity periods with each call, skipping a friend whose
+//     schedule would leave no m-slot period for the group so far. PCArrange
+//     ignores the acquaintance constraint; the "observed k" (k_h) of its
+//     answer — the largest number of strangers any attendee faces — is the
+//     quality metric of Figure 1(g).
+//   - STGArrange runs STGSelect with increasing k (starting from 0) until
+//     the total social distance is no worse than PCArrange's, evaluating the
+//     smallest acquaintance bound an automatic planner needs to match manual
+//     coordination (Figures 1(g) and 1(h)).
+package coordinate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// ErrCannotCoordinate is returned when PCArrange runs out of friends before
+// assembling p attendees with a common period.
+var ErrCannotCoordinate = errors.New("coordinate: manual coordination failed to assemble a group")
+
+// PCResult is the outcome of a PCArrange simulation.
+type PCResult struct {
+	// Members are radius-graph vertex indices, initiator included.
+	Members []int
+	// TotalDistance is the total social distance to the initiator.
+	TotalDistance float64
+	// Period is the earliest m-slot activity period everyone can attend.
+	Period core.Period
+	// ObservedK is k_h: the maximum number of unacquainted other attendees
+	// any attendee has.
+	ObservedK int
+}
+
+// PCArrange simulates the manual coordination process for an activity of p
+// people and m consecutive slots. Candidates are called in ascending social
+// distance; a friend joins if the invited group still shares at least one
+// m-slot period afterwards, otherwise the initiator apologizes and moves on.
+func PCArrange(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, m int) (*PCResult, error) {
+	if p < 1 || m < 1 || len(calUser) != rg.N() {
+		return nil, core.ErrBadParams
+	}
+	horizon := cal.Horizon()
+	if horizon < m {
+		return nil, ErrCannotCoordinate
+	}
+
+	// starts[t] == true when every invited person is available over
+	// [t, t+m−1]. The initiator starts alone.
+	starts := bitset.New(horizon - m + 1)
+	for t := 0; t+m <= horizon; t++ {
+		if cal.AvailableDuring(calUser[0], t, m) {
+			starts.Add(t)
+		}
+	}
+	if starts.Empty() {
+		return nil, ErrCannotCoordinate
+	}
+
+	members := []int{0}
+	total := 0.0
+	// Radius-graph vertices are sorted by ascending distance: the calling
+	// order of a person coordinating by phone.
+	for v := 1; v < rg.N() && len(members) < p; v++ {
+		trial := starts.Clone()
+		trial.ForEach(func(t int) bool {
+			if !cal.AvailableDuring(calUser[v], t, m) {
+				trial.Remove(t)
+			}
+			return true
+		})
+		if trial.Empty() {
+			continue // "sorry, another time then"
+		}
+		starts = trial
+		members = append(members, v)
+		total += rg.Dist[v]
+	}
+	if len(members) < p {
+		return nil, ErrCannotCoordinate
+	}
+
+	set := bitset.New(rg.N())
+	for _, v := range members {
+		set.Add(v)
+	}
+	kh := 0
+	for _, v := range members {
+		if nn := rg.NonNeighborsWithin(v, set); nn > kh {
+			kh = nn
+		}
+	}
+	start := starts.NextSet(0)
+	return &PCResult{
+		Members:       members,
+		TotalDistance: total,
+		Period:        core.Period{Start: start, End: start + m - 1},
+		ObservedK:     kh,
+	}, nil
+}
+
+// STGResult is the outcome of an STGArrange run.
+type STGResult struct {
+	// K is the smallest acquaintance constraint for which STGSelect found a
+	// solution no worse than the manual one.
+	K int
+	// Answer is that solution.
+	Answer *core.STGroup
+}
+
+// STGArrange finds, by increasing k from 0, the first STGSelect solution
+// whose total social distance does not exceed target (use the PCArrange
+// distance, per Section 5.1). kMax bounds the search; p−1 renders the
+// acquaintance constraint vacuous, so pass at least that for a complete
+// sweep.
+func STGArrange(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, m int, target float64, kMax int, opt core.Options) (*STGResult, error) {
+	if kMax < 0 {
+		return nil, fmt.Errorf("%w: kMax %d < 0", core.ErrBadParams, kMax)
+	}
+	for k := 0; k <= kMax; k++ {
+		ans, _, err := core.STGSelect(rg, cal, calUser, p, k, m, opt)
+		if errors.Is(err, core.ErrNoFeasibleGroup) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ans.TotalDistance <= target {
+			return &STGResult{K: k, Answer: ans}, nil
+		}
+	}
+	return nil, core.ErrNoFeasibleGroup
+}

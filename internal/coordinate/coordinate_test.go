@@ -1,0 +1,194 @@
+package coordinate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// lineWorld builds a simple instance: q plus 5 friends at distances
+// 10, 20, 30, 40, 50; friends 1 and 2 share no common window with q, the
+// rest are always free.
+func lineWorld(t testing.TB) (*socialgraph.RadiusGraph, *schedule.Calendar, []int) {
+	t.Helper()
+	g := socialgraph.New()
+	q := g.MustAddVertex("q")
+	for i := 0; i < 5; i++ {
+		v := g.AddVertices(1)
+		g.MustAddEdge(q, v, float64(10*(i+1)))
+	}
+	cal := schedule.NewCalendar(6, 12)
+	cal.SetRange(0, 0, 12, true) // q always free
+	// Friends 1 and 2 (vertices 1,2 = distances 10,20) free only in slots
+	// 0-1 and 10-11 respectively: with m=3 they can never join.
+	cal.SetRange(1, 0, 2, true)
+	cal.SetRange(2, 10, 12, true)
+	cal.SetRange(3, 2, 9, true)
+	cal.SetRange(4, 0, 12, true)
+	cal.SetRange(5, 3, 8, true)
+	rg, err := g.ExtractRadiusGraph(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calUser := make([]int, rg.N())
+	copy(calUser, rg.Orig)
+	return rg, cal, calUser
+}
+
+func TestPCArrangeSkipsUnavailableFriends(t *testing.T) {
+	rg, cal, calUser := lineWorld(t)
+	res, err := PCArrange(rg, cal, calUser, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two closest friends can never make it; the group should be q plus
+	// the vertices at distances 30 and 40.
+	if res.TotalDistance != 70 {
+		t.Errorf("distance = %v, want 70", res.TotalDistance)
+	}
+	if len(res.Members) != 3 {
+		t.Errorf("members = %v, want 3 people", res.Members)
+	}
+	if res.Period.Len() != 3 {
+		t.Errorf("period %+v has wrong length", res.Period)
+	}
+	// Everyone must be available over the returned period.
+	for _, v := range res.Members {
+		for s := res.Period.Start; s <= res.Period.End; s++ {
+			if !cal.Available(calUser[v], s) {
+				t.Errorf("member %d busy at slot %d", v, s)
+			}
+		}
+	}
+	// Star graph: the two invited friends don't know each other -> k_h = 1.
+	if res.ObservedK != 1 {
+		t.Errorf("ObservedK = %d, want 1", res.ObservedK)
+	}
+}
+
+func TestPCArrangeFailure(t *testing.T) {
+	rg, cal, calUser := lineWorld(t)
+	// Requesting 6 attendees: impossible (friends 1,2 can never make it).
+	if _, err := PCArrange(rg, cal, calUser, 6, 3); !errors.Is(err, ErrCannotCoordinate) {
+		t.Errorf("err = %v, want ErrCannotCoordinate", err)
+	}
+	// Initiator with no free slots at all.
+	empty := schedule.NewCalendar(6, 12)
+	if _, err := PCArrange(rg, empty, calUser, 2, 3); !errors.Is(err, ErrCannotCoordinate) {
+		t.Errorf("busy initiator: err = %v, want ErrCannotCoordinate", err)
+	}
+	if _, err := PCArrange(rg, cal, calUser, 0, 3); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("p=0: err = %v, want ErrBadParams", err)
+	}
+}
+
+func TestSTGArrangeFindsSmallK(t *testing.T) {
+	// Build a graph where k=0 (clique) exists but is expensive, while the
+	// cheap group needs k=1: STGArrange against a loose target should stop
+	// at k=0 only if the clique beats the target.
+	g := socialgraph.New()
+	q := g.MustAddVertex("q")
+	a := g.MustAddVertex("a") // 10
+	b := g.MustAddVertex("b") // 20
+	c := g.MustAddVertex("c") // 30
+	d := g.MustAddVertex("d") // 40
+	g.MustAddEdge(q, a, 10)
+	g.MustAddEdge(q, b, 20)
+	g.MustAddEdge(q, c, 30)
+	g.MustAddEdge(q, d, 40)
+	g.MustAddEdge(c, d, 5) // c-d acquainted; a,b know nobody else
+	cal := schedule.NewCalendar(5, 6)
+	for u := 0; u < 5; u++ {
+		cal.SetRange(u, 0, 6, true)
+	}
+	rg, _ := g.ExtractRadiusGraph(q, 1)
+	calUser := make([]int, rg.N())
+	copy(calUser, rg.Orig)
+
+	// p=3, m=2. k=0 needs a triangle: {q,c,d} distance 70. k=1 admits
+	// {q,a,b} distance 30.
+	res, err := STGArrange(rg, cal, calUser, 3, 2, 75, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 || res.Answer.TotalDistance != 70 {
+		t.Errorf("target 75: k=%d dist=%v, want k=0 dist=70", res.K, res.Answer.TotalDistance)
+	}
+	// Tighter target 30: k=0's best (70) misses it, k=1 reaches 30.
+	res, err = STGArrange(rg, cal, calUser, 3, 2, 30, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || res.Answer.TotalDistance != 30 {
+		t.Errorf("target 30: k=%d dist=%v, want k=1 dist=30", res.K, res.Answer.TotalDistance)
+	}
+	// Unreachable target.
+	if _, err := STGArrange(rg, cal, calUser, 3, 2, 5, 2, core.DefaultOptions()); !errors.Is(err, core.ErrNoFeasibleGroup) {
+		t.Errorf("unreachable target: err = %v", err)
+	}
+	if _, err := STGArrange(rg, cal, calUser, 3, 2, 30, -1, core.DefaultOptions()); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("kMax=-1: err = %v", err)
+	}
+}
+
+// TestQuickSTGSelectBeatsPCArrange is the paper's headline quality claim
+// (Figures 1(g), 1(h)): with k set to PCArrange's observed k_h, STGSelect
+// never returns a worse total distance, because PCArrange's own answer is
+// feasible at that k.
+func TestQuickSTGSelectBeatsPCArrange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + r.Intn(6)
+		g := socialgraph.New()
+		g.AddVertices(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.5 {
+					g.MustAddEdge(u, v, float64(1+r.Intn(30)))
+				}
+			}
+		}
+		rg, err := g.ExtractRadiusGraph(0, 2)
+		if err != nil {
+			return false
+		}
+		nn := rg.N()
+		horizon := 8 + r.Intn(12)
+		cal := schedule.NewCalendar(nn, horizon)
+		for u := 0; u < nn; u++ {
+			for s := 0; s < horizon; s++ {
+				if r.Float64() < 0.8 {
+					cal.SetAvailable(u, s)
+				}
+			}
+		}
+		calUser := make([]int, nn)
+		for i := range calUser {
+			calUser[i] = i
+		}
+		p := 2 + r.Intn(3)
+		m := 2 + r.Intn(2)
+		pc, err := PCArrange(rg, cal, calUser, p, m)
+		if err != nil {
+			return true // nothing to compare
+		}
+		st, _, err := core.STGSelect(rg, cal, calUser, p, pc.ObservedK, m, core.DefaultOptions())
+		if err != nil {
+			t.Logf("seed %d: STGSelect infeasible at k_h=%d though PCArrange found a group", seed, pc.ObservedK)
+			return false
+		}
+		if st.TotalDistance > pc.TotalDistance {
+			t.Logf("seed %d: STGSelect %v worse than PCArrange %v", seed, st.TotalDistance, pc.TotalDistance)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

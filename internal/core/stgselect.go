@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// STGSelect solves STGQ(p, s, k, m) exactly: it finds the group of p
+// vertices (initiator included) with minimum total social distance such that
+// all members share m consecutive available time slots.
+//
+// calUser maps radius-graph vertex indices to calendar user indices
+// (calUser[i] is the schedule row of vertex i). The social radius constraint
+// is already encoded in rg.
+//
+// The temporal dimension is explored per Lemma 4: only pivot slots (0-based
+// indices m−1, 2m−1, …) are searched, each over its (2m−1)-slot window, and
+// per Definition 4 only vertices with at least m consecutive available slots
+// inside the window participate. The incumbent distance is shared across
+// pivots, strengthening distance pruning without affecting optimality.
+func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, k, m int, opt Options) (*STGroup, Stats, error) {
+	if err := validateSTG(rg, cal, calUser, p, k, m); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+
+	e := newEngine(rg, p, k, opt)
+	n := rg.N()
+	t := &temporalState{
+		m:        m,
+		runLo:    make([]int, n),
+		runHi:    make([]int, n),
+		winAvail: make([]*bitset.Set, n),
+	}
+	e.tmp = t
+	e.initTemporalRHS(m)
+
+	eligible := bitset.New(n)
+	for _, pivot := range cal.PivotSlots(m) {
+		if e.budgetHit {
+			break
+		}
+		w := cal.NewWindow(pivot, m)
+		t.win = w
+		if !prepPivot(e, cal, calUser, eligible, w) {
+			e.stats.PivotsSkipped++
+			continue
+		}
+		e.stats.PivotsProcessed++
+		if p == 1 {
+			// The initiator alone: any pivot where q qualifies gives the
+			// optimal (distance-0) answer.
+			e.bestDist = 0
+			e.bestSet.Clear()
+			e.bestSet.Add(0)
+			e.bestLo, e.bestHi, e.bestPiv = t.curLo, t.curHi, pivot
+			e.stats.SolutionsFound++
+			break
+		}
+		e.reset(eligible)
+		if e.vsCount+e.vaCount >= p {
+			e.expand(0)
+		}
+	}
+
+	if e.bestSet.Count() != p {
+		if e.budgetHit {
+			return nil, e.stats, ErrBudgetExceeded
+		}
+		return nil, e.stats, ErrNoFeasibleGroup
+	}
+	members := e.bestSet.Indices()
+	// The search tracks the common run clipped to the pivot window; widen it
+	// to the true maximal common interval for reporting.
+	lo, hi := e.bestLo, e.bestHi
+	for lo-1 >= 0 && allMembersAvailable(cal, calUser, members, lo-1) {
+		lo--
+	}
+	for hi+1 < cal.Horizon() && allMembersAvailable(cal, calUser, members, hi+1) {
+		hi++
+	}
+	ans := &STGroup{
+		Group: Group{
+			Members:       members,
+			TotalDistance: e.bestDist,
+		},
+		Interval: Period{Start: lo, End: hi},
+		Pivot:    e.bestPiv,
+	}
+	if e.budgetHit {
+		// Anytime result: feasible but not proven optimal.
+		return ans, e.stats, ErrBudgetExceeded
+	}
+	return ans, e.stats, nil
+}
+
+func allMembersAvailable(cal *schedule.Calendar, calUser []int, members []int, slot int) bool {
+	for _, v := range members {
+		if !cal.Available(calUser[v], slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepPivot fills the temporal state for one pivot window: eligibility per
+// Definition 4, per-vertex pivot runs, window availability bitsets, and the
+// per-slot unavailability counters (over the initial VA = eligible − {q}).
+// It reports false when the pivot cannot host any feasible solution (the
+// initiator does not qualify, or fewer than p vertices qualify).
+func prepPivot(e *engine, cal *schedule.Calendar, calUser []int, eligible *bitset.Set, w schedule.Window) bool {
+	t := e.tmp
+	eligible.Clear()
+	width := w.Width()
+	if width < t.m {
+		return false
+	}
+	if len(t.unavail) < width {
+		t.unavail = make([]int, width)
+	}
+	t.unavail = t.unavail[:width]
+	for i := range t.unavail {
+		t.unavail[i] = 0
+	}
+
+	count := 0
+	for v := 0; v < e.n; v++ {
+		// Allocation-free eligibility test (Definition 4): walk the pivot
+		// run directly on the calendar row. A vertex busy at the pivot slot
+		// can have no m-run inside the (2m−1)-wide window.
+		row := cal.Row(calUser[v])
+		if !row.Contains(w.Pivot) {
+			continue
+		}
+		lo, hi := w.Pivot, w.Pivot
+		for lo-1 >= w.Lo && row.Contains(lo-1) {
+			lo--
+		}
+		for hi+1 < w.Hi && row.Contains(hi+1) {
+			hi++
+		}
+		if hi-lo+1 < t.m {
+			continue
+		}
+		eligible.Add(v)
+		t.winAvail[v] = cal.UserWindowSlots(calUser[v], w)
+		t.runLo[v] = lo
+		t.runHi[v] = hi
+		count++
+	}
+	if !eligible.Contains(0) || count < e.p {
+		return false
+	}
+	// Unavailability counters cover VA = eligible − {0}.
+	for v := eligible.NextSet(1); v != -1; v = eligible.NextSet(v + 1) {
+		av := t.winAvail[v]
+		for i := 0; i < width; i++ {
+			if !av.Contains(i) {
+				t.unavail[i]++
+			}
+		}
+	}
+	t.curLo, t.curHi = t.runLo[0], t.runHi[0]
+	t.loStack = t.loStack[:0]
+	t.hiStack = t.hiStack[:0]
+	return true
+}
+
+func validateSTG(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []int, p, k, m int) error {
+	if err := validateSG(rg, p, k); err != nil {
+		return err
+	}
+	if cal == nil {
+		return fmt.Errorf("%w: nil calendar", ErrBadParams)
+	}
+	if m < 1 {
+		return fmt.Errorf("%w: activity length m=%d < 1", ErrBadParams, m)
+	}
+	if len(calUser) != rg.N() {
+		return fmt.Errorf("%w: calUser has %d entries for %d vertices", ErrBadParams, len(calUser), rg.N())
+	}
+	for i, u := range calUser {
+		if u < 0 || u >= cal.Users() {
+			return fmt.Errorf("%w: calUser[%d]=%d outside calendar (%d users)", ErrBadParams, i, u, cal.Users())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestReal194Deterministic(t *testing.T) {
+	a := Real194(42, 3)
+	b := Real194(42, 3)
+	if a.Graph.NumVertices() != Real194Size || b.Graph.NumVertices() != Real194Size {
+		t.Fatalf("sizes: %d, %d", a.Graph.NumVertices(), b.Graph.NumVertices())
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Errorf("edge counts differ across identical seeds: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for v := 0; v < Real194Size; v++ {
+		if !a.Cal.Row(v).Equal(b.Cal.Row(v)) {
+			t.Fatalf("schedules differ at vertex %d for identical seeds", v)
+		}
+	}
+	c := Real194(43, 3)
+	if a.Graph.NumEdges() == c.Graph.NumEdges() {
+		t.Log("warning: different seeds gave identical edge counts (possible but unlikely)")
+	}
+}
+
+func TestReal194Structure(t *testing.T) {
+	d := Real194(1, 7)
+	g := d.Graph
+	if d.Cal.Horizon() != 7*schedule.SlotsPerDay {
+		t.Errorf("horizon = %d, want %d", d.Cal.Horizon(), 7*schedule.SlotsPerDay)
+	}
+	// No isolated vertices.
+	totalDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) == 0 {
+			t.Errorf("vertex %d is isolated", v)
+		}
+		totalDeg += g.Degree(v)
+	}
+	avg := float64(totalDeg) / float64(g.NumVertices())
+	if avg < 8 || avg > 40 {
+		t.Errorf("average degree %.1f outside the expected ego-network range [8,40]", avg)
+	}
+	// Positive integer-valued distances.
+	for v := 0; v < g.NumVertices(); v++ {
+		g.Neighbors(v, func(u int, dist float64) {
+			if dist < 1 || dist != float64(int(dist)) {
+				t.Errorf("edge (%d,%d) distance %v not a positive integer", v, u, dist)
+			}
+		})
+	}
+	// Intra-community edges should be shorter on average than bridges.
+	var intraSum, interSum float64
+	var intraN, interN int
+	for v := 0; v < g.NumVertices(); v++ {
+		g.Neighbors(v, func(u int, dist float64) {
+			if d.Community[v] == d.Community[u] {
+				intraSum += dist
+				intraN++
+			} else {
+				interSum += dist
+				interN++
+			}
+		})
+	}
+	if intraN == 0 || interN == 0 {
+		t.Fatal("expected both intra- and inter-community edges")
+	}
+	if intraSum/float64(intraN) >= interSum/float64(interN) {
+		t.Errorf("intra-community mean distance %.1f not below inter %.1f",
+			intraSum/float64(intraN), interSum/float64(interN))
+	}
+}
+
+func TestSchedulePlausibility(t *testing.T) {
+	d := Real194(7, 7)
+	// People sleep: slot 0 (midnight) mostly busy; some evening availability
+	// exists.
+	asleep, evening := 0, 0
+	for v := 0; v < Real194Size; v++ {
+		if !d.Cal.Available(v, 0) {
+			asleep++
+		}
+		if d.Cal.Available(v, 40) { // 20:00 day 1
+			evening++
+		}
+	}
+	if asleep != Real194Size {
+		t.Errorf("%d/194 people available at midnight; nobody should be", Real194Size-asleep)
+	}
+	if evening < Real194Size/5 {
+		t.Errorf("only %d/194 free at 20:00; expected a social evening crowd", evening)
+	}
+	// Availability must be neither empty nor full for typical users.
+	for _, v := range []int{0, 50, 100, 150} {
+		c := d.Cal.Row(v).Count()
+		if c == 0 || c == d.Cal.Horizon() {
+			t.Errorf("vertex %d has degenerate schedule (%d/%d free)", v, c, d.Cal.Horizon())
+		}
+	}
+}
+
+func TestSyntheticSizes(t *testing.T) {
+	for _, n := range []int{194, 800} {
+		d := Synthetic(n, 5, 2)
+		if d.Graph.NumVertices() != n {
+			t.Fatalf("n=%d: got %d vertices", n, d.Graph.NumVertices())
+		}
+		if d.Cal.Users() != n || d.Cal.Horizon() != 2*schedule.SlotsPerDay {
+			t.Errorf("n=%d: calendar %dx%d wrong", n, d.Cal.Users(), d.Cal.Horizon())
+		}
+		for v := 0; v < n; v++ {
+			if d.Graph.Degree(v) == 0 {
+				t.Errorf("n=%d: vertex %d isolated", n, v)
+			}
+		}
+	}
+}
+
+func TestSyntheticDegreeSkew(t *testing.T) {
+	// Preferential attachment should produce a heavy-tailed degree
+	// distribution: the max degree far exceeds the average.
+	d := Synthetic(3200, 11, 1)
+	maxDeg, total := 0, 0
+	for v := 0; v < 3200; v++ {
+		deg := d.Graph.Degree(v)
+		total += deg
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	avg := float64(total) / 3200
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d not heavy-tailed vs average %.1f", maxDeg, avg)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(500, 3, 1)
+	b := Synthetic(500, 3, 1)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Error("synthetic generation is not deterministic")
+	}
+}
+
+func TestPickInitiator(t *testing.T) {
+	d := Real194(2, 1)
+	lo := d.PickInitiator(0)
+	hi := d.PickInitiator(100)
+	mid := d.PickInitiator(75)
+	if d.Graph.Degree(lo) > d.Graph.Degree(hi) {
+		t.Errorf("percentile ordering broken: deg(p0)=%d > deg(p100)=%d",
+			d.Graph.Degree(lo), d.Graph.Degree(hi))
+	}
+	if d.Graph.Degree(mid) < d.Graph.Degree(lo) || d.Graph.Degree(mid) > d.Graph.Degree(hi) {
+		t.Errorf("p75 degree %d outside [p0 %d, p100 %d]",
+			d.Graph.Degree(mid), d.Graph.Degree(lo), d.Graph.Degree(hi))
+	}
+	// Determinism.
+	if d.PickInitiator(75) != mid {
+		t.Error("PickInitiator not deterministic")
+	}
+}
+
+func TestCalUsers(t *testing.T) {
+	d := Real194(3, 1)
+	q := d.PickInitiator(75)
+	rg, err := d.Graph.ExtractRadiusGraph(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu := CalUsers(rg)
+	if len(cu) != rg.N() || cu[0] != q {
+		t.Errorf("CalUsers = %v (len %d)", cu[:3], len(cu))
+	}
+	for i, u := range cu {
+		if u != rg.Orig[i] {
+			t.Errorf("CalUsers[%d] = %d, want %d", i, u, rg.Orig[i])
+		}
+	}
+}
+
+func TestRealisticQueryLoad(t *testing.T) {
+	// Smoke test: the benchmark configuration (s=1, k=2) must be feasible
+	// for a typical initiator at moderate p.
+	d := Real194(42, 3)
+	q := d.PickInitiator(75)
+	rg, err := d.Graph.ExtractRadiusGraph(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.N() < 12 {
+		t.Fatalf("initiator ego network too small for the paper's sweeps: %d", rg.N())
+	}
+}

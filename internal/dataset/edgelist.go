@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// ParseEdgeList reads a whitespace-separated edge list — the format of the
+// public network repositories the paper's synthetic dataset derives from
+// (e.g. Newman's netdata coauthorship graphs exported as edge lists). Each
+// non-comment line is "u v [distance]"; vertices are non-negative integers,
+// comments start with '#' or '%'. When the distance column is absent, every
+// edge gets distance 1 (coauthorship graphs are unweighted; the paper's
+// weighting comes from the interaction model, which FromGraph re-applies).
+func ParseEdgeList(r io.Reader) (*socialgraph.Graph, error) {
+	g := socialgraph.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	ensure := func(v int) {
+		for g.NumVertices() <= v {
+			g.AddVertices(1)
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: want 'u v [dist]', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("dataset: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("dataset: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		dist := 1.0
+		if len(fields) >= 3 {
+			dist, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad distance %q", lineNo, fields[2])
+			}
+		}
+		ensure(u)
+		ensure(v)
+		if u == v {
+			continue // ignore self loops, common in raw dumps
+		}
+		if err := g.AddEdge(u, v, dist); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FromGraph turns any social graph into a full dataset the way the paper
+// builds its synthetic one (Section 5.1): schedules are drawn per person
+// from a generated 194-person pool, and — when reweight is true — edge
+// distances are re-drawn from the interaction model (useful for unweighted
+// imports, where every distance is 1).
+func FromGraph(g *socialgraph.Graph, seed int64, days int, reweight bool) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if reweight {
+		// AddEdge keeps the minimum, so rebuild instead of editing in place.
+		ng := socialgraph.New()
+		ng.AddVertices(n)
+		for u := 0; u < n; u++ {
+			g.Neighbors(u, func(v int, _ float64) {
+				if u < v {
+					ng.MustAddEdge(u, v, interactionDistance(r, r.Float64() < 0.7))
+				}
+			})
+		}
+		g = ng
+	}
+	pool := realLike(Real194Size, seed+1, days)
+	cal := schedule.NewCalendar(n, days*schedule.SlotsPerDay)
+	community := make([]int, n)
+	for v := 0; v < n; v++ {
+		src := r.Intn(Real194Size)
+		community[v] = pool.Community[src]
+		row := pool.Cal.Row(src)
+		for s := row.NextSet(0); s != -1; s = row.NextSet(s + 1) {
+			cal.SetAvailable(v, s)
+		}
+	}
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days}
+}

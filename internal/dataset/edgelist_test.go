@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment style
+0 1
+1 2 5.5
+
+3 0 2
+2 2
+`
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Errorf("vertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3 (self loop dropped)", g.NumEdges())
+	}
+	if d, ok := g.EdgeDistance(0, 1); !ok || d != 1 {
+		t.Errorf("edge 0-1 = %v,%v; want default distance 1", d, ok)
+	}
+	if d, _ := g.EdgeDistance(1, 2); d != 5.5 {
+		t.Errorf("edge 1-2 = %v, want 5.5", d)
+	}
+	if d, _ := g.EdgeDistance(0, 3); d != 2 {
+		t.Errorf("edge 0-3 = %v, want 2", d)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"one column":   "7\n",
+		"bad vertex":   "a 1\n",
+		"neg vertex":   "-1 2\n",
+		"bad dist":     "0 1 heavy\n",
+		"neg distance": "0 1 -4\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestFromGraphAttachesSchedules(t *testing.T) {
+	in := "0 1\n1 2\n2 0\n2 3\n"
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FromGraph(g, 11, 2, true)
+	if d.Graph.NumVertices() != 4 || d.Cal.Users() != 4 {
+		t.Fatalf("dataset shape wrong: %d vertices, %d users", d.Graph.NumVertices(), d.Cal.Users())
+	}
+	if d.Cal.Horizon() != 2*48 {
+		t.Errorf("horizon = %d", d.Cal.Horizon())
+	}
+	// Reweighting replaced the unit distances.
+	unit := 0
+	for u := 0; u < 4; u++ {
+		d.Graph.Neighbors(u, func(v int, dist float64) {
+			if dist == 1 {
+				unit++
+			}
+		})
+	}
+	if unit == 8 {
+		t.Error("reweight=true left every distance at 1")
+	}
+	// Every person has a plausible schedule (neither empty nor full).
+	for v := 0; v < 4; v++ {
+		c := d.Cal.Row(v).Count()
+		if c == 0 || c == d.Cal.Horizon() {
+			t.Errorf("person %d has degenerate schedule %d/%d", v, c, d.Cal.Horizon())
+		}
+	}
+	// Determinism.
+	d2 := FromGraph(g, 11, 2, true)
+	for v := 0; v < 4; v++ {
+		if !d.Cal.Row(v).Equal(d2.Cal.Row(v)) {
+			t.Error("FromGraph not deterministic")
+		}
+	}
+	// Without reweighting the distances survive.
+	d3 := FromGraph(g, 11, 1, false)
+	if dist, _ := d3.Graph.EdgeDistance(0, 1); dist != 1 {
+		t.Errorf("reweight=false changed distance to %v", dist)
+	}
+}
+
+// TestImportedGraphIsQueryable runs an actual query over an imported
+// network end to end.
+func TestImportedGraphIsQueryable(t *testing.T) {
+	// A small collaboration network: two triangles sharing vertex 2.
+	in := "0 1\n0 2\n1 2\n2 3\n2 4\n3 4\n"
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FromGraph(g, 3, 1, true)
+	rg, err := d.Graph.ExtractRadiusGraph(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.N() != 5 {
+		t.Fatalf("vertex 2 should reach everyone at s=1, got %d", rg.N())
+	}
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// fileFormat is the on-disk JSON schema of a dataset. Availability is
+// stored as free runs [start, end) to keep files compact.
+type fileFormat struct {
+	People       []filePerson `json:"people"`
+	Edges        []fileEdge   `json:"edges"`
+	HorizonSlots int          `json:"horizonSlots"`
+	Days         int          `json:"days"`
+	// Free[v] lists the free slot runs of person v.
+	Free [][][2]int `json:"free"`
+}
+
+type filePerson struct {
+	Name      string `json:"name,omitempty"`
+	Community int    `json:"community"`
+}
+
+type fileEdge struct {
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	Dist float64 `json:"dist"`
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	n := d.Graph.NumVertices()
+	f := fileFormat{
+		People:       make([]filePerson, n),
+		HorizonSlots: d.Cal.Horizon(),
+		Days:         d.Days,
+		Free:         make([][][2]int, n),
+	}
+	for v := 0; v < n; v++ {
+		comm := 0
+		if v < len(d.Community) {
+			comm = d.Community[v]
+		}
+		f.People[v] = filePerson{Name: d.Graph.Label(v), Community: comm}
+		row := d.Cal.Row(v)
+		var runs [][2]int
+		for s := row.NextSet(0); s != -1; {
+			e := s
+			for e+1 < d.Cal.Horizon() && row.Contains(e+1) {
+				e++
+			}
+			runs = append(runs, [2]int{s, e + 1})
+			s = row.NextSet(e + 1)
+		}
+		f.Free[v] = runs
+	}
+	for u := 0; u < n; u++ {
+		d.Graph.Neighbors(u, func(v int, dist float64) {
+			if u < v {
+				f.Edges = append(f.Edges, fileEdge{A: u, B: v, Dist: dist})
+			}
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if f.HorizonSlots < 0 {
+		return nil, fmt.Errorf("dataset: negative horizon %d", f.HorizonSlots)
+	}
+	g := socialgraph.New()
+	community := make([]int, len(f.People))
+	for i, p := range f.People {
+		if _, err := g.AddVertex(p.Name); err != nil {
+			return nil, fmt.Errorf("dataset: person %d: %w", i, err)
+		}
+		community[i] = p.Community
+	}
+	for _, e := range f.Edges {
+		if err := g.AddEdge(e.A, e.B, e.Dist); err != nil {
+			return nil, fmt.Errorf("dataset: edge (%d,%d): %w", e.A, e.B, err)
+		}
+	}
+	cal := schedule.NewCalendar(len(f.People), f.HorizonSlots)
+	for v, runs := range f.Free {
+		if v >= len(f.People) {
+			return nil, fmt.Errorf("dataset: availability for unknown person %d", v)
+		}
+		for _, run := range runs {
+			if run[0] < 0 || run[1] > f.HorizonSlots || run[0] > run[1] {
+				return nil, fmt.Errorf("dataset: person %d has bad free run %v", v, run)
+			}
+			cal.SetRange(v, run[0], run[1], true)
+		}
+	}
+	days := f.Days
+	if days == 0 && schedule.SlotsPerDay > 0 {
+		days = (f.HorizonSlots + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
+	}
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days}, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders the figure as an ASCII bar chart, one row group per x
+// value, one bar per series. Timing figures use a log10 scale (the paper
+// plots Figures 1(a)–(d) on log axes); quality figures use a linear scale.
+func (f Figure) Chart(width int) string {
+	if width < 30 {
+		width = 30
+	}
+	barWidth := width - 24
+
+	// Collect the value range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range f.Rows {
+		for _, s := range f.Series {
+			v, ok := r.Values[s]
+			if !ok || math.IsNaN(v) || v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Sprintf("Figure %s — %s\n(no data)\n", f.ID, f.Title)
+	}
+
+	logScale := f.Unit == "ns" && hi/lo > 50
+	scale := func(v float64) float64 {
+		if logScale {
+			if v <= 0 {
+				return 0
+			}
+			span := math.Log10(hi) - math.Log10(lo)
+			if span <= 0 {
+				return 1
+			}
+			return (math.Log10(v) - math.Log10(lo)) / span
+		}
+		if hi <= 0 {
+			return 0
+		}
+		return v / hi
+	}
+
+	glyphs := []byte{'#', '=', '-', '~'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s", f.ID, f.Title)
+	if logScale {
+		b.WriteString(" (log scale)")
+	}
+	b.WriteByte('\n')
+	for i, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[i%len(glyphs)], s)
+	}
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s\n", r.X)
+		for i, s := range f.Series {
+			v, ok := r.Values[s]
+			if !ok || math.IsNaN(v) {
+				fmt.Fprintf(&b, "  %c %-*s (infeasible)\n", glyphs[i%len(glyphs)], barWidth, "")
+				continue
+			}
+			n := int(scale(v)*float64(barWidth-1)) + 1
+			if n > barWidth {
+				n = barWidth
+			}
+			bar := strings.Repeat(string(glyphs[i%len(glyphs)]), n)
+			label := fmt.Sprintf("%.4g", v)
+			if f.Unit == "ns" {
+				label = formatDuration(time.Duration(v))
+			}
+			fmt.Fprintf(&b, "  %-*s %s\n", barWidth, bar, label)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+// Package ical reads busy events from iCalendar (.ics) data — the format
+// Google Calendar exports — and projects them onto the half-hour slot
+// calendars this repository uses. The paper collected its participants'
+// schedules through Google Calendar (Section 5.1); this package is the
+// ingestion path for doing the same with real exports.
+//
+// Supported subset (deliberately small, stdlib-only):
+//
+//   - line unfolding per RFC 5545 §3.1 (continuation lines start with
+//     space/tab), CRLF or LF;
+//   - VEVENT components with DTSTART/DTEND in the forms
+//     "20110829T090000Z" (UTC), "20110829T090000" (floating, treated as
+//     local to the provided origin), "TZID=...:20110829T090000" (TZID
+//     ignored, treated as floating), and all-day "VALUE=DATE:20110829";
+//   - RRULE with FREQ=DAILY or FREQ=WEEKLY, optional COUNT or UNTIL
+//     (expansion is clipped to the projection horizon);
+//   - everything else is skipped.
+package ical
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// Event is one busy interval.
+type Event struct {
+	Start   time.Time
+	End     time.Time
+	Summary string
+	// Repeat describes a simple recurrence (nil when none).
+	Repeat *Recurrence
+}
+
+// Recurrence is the supported RRULE subset.
+type Recurrence struct {
+	// Every is the period between occurrences (24h for DAILY, 168h for
+	// WEEKLY, scaled by INTERVAL).
+	Every time.Duration
+	// Count limits the number of occurrences (0 = unbounded, clipped by
+	// Until or by the projection horizon).
+	Count int
+	// Until bounds the last occurrence start (zero = none).
+	Until time.Time
+}
+
+// ErrBadCalendar reports malformed iCalendar input.
+var ErrBadCalendar = errors.New("ical: malformed calendar")
+
+// Parse reads every VEVENT with a valid DTSTART/DTEND.
+func Parse(r io.Reader) ([]Event, error) {
+	lines, err := unfold(r)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		events  []Event
+		cur     *Event
+		inEvent bool
+	)
+	for _, ln := range lines {
+		name, param, value := splitProperty(ln)
+		switch name {
+		case "BEGIN":
+			if strings.EqualFold(value, "VEVENT") {
+				if inEvent {
+					return nil, fmt.Errorf("%w: nested VEVENT", ErrBadCalendar)
+				}
+				inEvent = true
+				cur = &Event{}
+			}
+		case "END":
+			if strings.EqualFold(value, "VEVENT") {
+				if !inEvent {
+					return nil, fmt.Errorf("%w: END:VEVENT without BEGIN", ErrBadCalendar)
+				}
+				inEvent = false
+				if !cur.Start.IsZero() && !cur.End.IsZero() && cur.End.After(cur.Start) {
+					events = append(events, *cur)
+				}
+				cur = nil
+			}
+		case "DTSTART", "DTEND":
+			if !inEvent {
+				continue
+			}
+			ts, err := parseDateTime(param, value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrBadCalendar, name, err)
+			}
+			if name == "DTSTART" {
+				cur.Start = ts
+			} else {
+				cur.End = ts
+			}
+		case "SUMMARY":
+			if inEvent {
+				cur.Summary = value
+			}
+		case "RRULE":
+			if inEvent {
+				rec, err := parseRRule(value)
+				if err != nil {
+					return nil, err
+				}
+				cur.Repeat = rec
+			}
+		}
+	}
+	if inEvent {
+		return nil, fmt.Errorf("%w: unterminated VEVENT", ErrBadCalendar)
+	}
+	return events, nil
+}
+
+// unfold joins RFC 5545 continuation lines.
+func unfold(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		ln := strings.TrimRight(sc.Text(), "\r")
+		if len(ln) > 0 && (ln[0] == ' ' || ln[0] == '\t') && len(lines) > 0 {
+			lines[len(lines)-1] += ln[1:]
+		} else {
+			lines = append(lines, ln)
+		}
+	}
+	return lines, sc.Err()
+}
+
+// splitProperty splits "NAME;PARAM=X:VALUE" into its parts.
+func splitProperty(ln string) (name, param, value string) {
+	colon := strings.Index(ln, ":")
+	if colon < 0 {
+		return strings.ToUpper(strings.TrimSpace(ln)), "", ""
+	}
+	head := ln[:colon]
+	value = ln[colon+1:]
+	if semi := strings.Index(head, ";"); semi >= 0 {
+		param = head[semi+1:]
+		head = head[:semi]
+	}
+	return strings.ToUpper(strings.TrimSpace(head)), param, value
+}
+
+func parseDateTime(param, value string) (time.Time, error) {
+	// TZID=...:value — treat as floating local time.
+	if strings.Contains(strings.ToUpper(param), "VALUE=DATE") || len(value) == 8 {
+		return time.ParseInLocation("20060102", value, time.UTC)
+	}
+	if strings.HasSuffix(value, "Z") {
+		return time.Parse("20060102T150405Z", value)
+	}
+	return time.ParseInLocation("20060102T150405", value, time.UTC)
+}
+
+func parseRRule(value string) (*Recurrence, error) {
+	rec := &Recurrence{}
+	interval := 1
+	freq := ""
+	for _, part := range strings.Split(value, ";") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch strings.ToUpper(kv[0]) {
+		case "FREQ":
+			freq = strings.ToUpper(kv[1])
+		case "COUNT":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: bad COUNT %q", ErrBadCalendar, kv[1])
+			}
+			rec.Count = n
+		case "INTERVAL":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: bad INTERVAL %q", ErrBadCalendar, kv[1])
+			}
+			interval = n
+		case "UNTIL":
+			ts, err := parseDateTime("", kv[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad UNTIL %q", ErrBadCalendar, kv[1])
+			}
+			rec.Until = ts
+		}
+	}
+	switch freq {
+	case "DAILY":
+		rec.Every = 24 * time.Hour * time.Duration(interval)
+	case "WEEKLY":
+		rec.Every = 7 * 24 * time.Hour * time.Duration(interval)
+	default:
+		return nil, fmt.Errorf("%w: unsupported RRULE FREQ %q", ErrBadCalendar, freq)
+	}
+	return rec, nil
+}
+
+// SlotDuration is the paper's slot granularity.
+const SlotDuration = 30 * time.Minute
+
+// BusySlots projects the events onto slot indices relative to origin over
+// the given horizon: a slot is busy when any (possibly recurring) event
+// overlaps it.
+func BusySlots(events []Event, origin time.Time, horizonSlots int) []int {
+	horizonEnd := origin.Add(time.Duration(horizonSlots) * SlotDuration)
+	busy := make([]bool, horizonSlots)
+	for _, ev := range events {
+		dur := ev.End.Sub(ev.Start)
+		start := ev.Start
+		occ := 0
+		for !start.After(horizonEnd) {
+			markBusy(busy, origin, start, start.Add(dur))
+			occ++
+			if ev.Repeat == nil {
+				break
+			}
+			if ev.Repeat.Count > 0 && occ >= ev.Repeat.Count {
+				break
+			}
+			start = start.Add(ev.Repeat.Every)
+			if !ev.Repeat.Until.IsZero() && start.After(ev.Repeat.Until) {
+				break
+			}
+		}
+	}
+	var out []int
+	for i, b := range busy {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func markBusy(busy []bool, origin, from, to time.Time) {
+	if !to.After(from) {
+		return
+	}
+	startSlot := int(from.Sub(origin) / SlotDuration)
+	// A partially covered slot is busy: round the end up.
+	endSlot := int((to.Sub(origin) + SlotDuration - 1) / SlotDuration)
+	if startSlot < 0 {
+		startSlot = 0
+	}
+	if endSlot > len(busy) {
+		endSlot = len(busy)
+	}
+	for s := startSlot; s < endSlot; s++ {
+		busy[s] = true
+	}
+}
+
+// ApplyBusy subtracts the events from user u's availability in cal,
+// projecting from origin. The user's baseline availability (e.g. waking
+// hours) must already be set.
+func ApplyBusy(cal *schedule.Calendar, u int, events []Event, origin time.Time) {
+	for _, s := range BusySlots(events, origin, cal.Horizon()) {
+		cal.SetBusy(u, s)
+	}
+}

@@ -1,0 +1,243 @@
+package ical
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+const sample = `BEGIN:VCALENDAR
+VERSION:2.0
+PRODID:-//Google Inc//Google Calendar 70.9054//EN
+BEGIN:VEVENT
+DTSTART:20110829T090000Z
+DTEND:20110829T103000Z
+SUMMARY:VLDB session
+END:VEVENT
+BEGIN:VEVENT
+DTSTART;TZID=Asia/Taipei:20110830T140000
+DTEND;TZID=Asia/Taipei:20110830T150000
+SUMMARY:Lab meeting with a very long description that wraps onto the
+  next line per RFC 5545 folding rules
+END:VEVENT
+BEGIN:VEVENT
+DTSTART;VALUE=DATE:20110901
+DTEND;VALUE=DATE:20110902
+SUMMARY:All-day workshop
+END:VEVENT
+END:VCALENDAR
+`
+
+func TestParseSample(t *testing.T) {
+	events, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(events))
+	}
+	if events[0].Summary != "VLDB session" {
+		t.Errorf("summary[0] = %q", events[0].Summary)
+	}
+	want := time.Date(2011, 8, 29, 9, 0, 0, 0, time.UTC)
+	if !events[0].Start.Equal(want) {
+		t.Errorf("start[0] = %v, want %v", events[0].Start, want)
+	}
+	if events[0].End.Sub(events[0].Start) != 90*time.Minute {
+		t.Errorf("duration[0] = %v", events[0].End.Sub(events[0].Start))
+	}
+	// Folded summary joined.
+	if !strings.Contains(events[1].Summary, "wraps onto the next line") {
+		t.Errorf("folded summary = %q", events[1].Summary)
+	}
+	// All-day event spans 48 slots.
+	if events[2].End.Sub(events[2].Start) != 24*time.Hour {
+		t.Errorf("all-day duration = %v", events[2].End.Sub(events[2].Start))
+	}
+}
+
+func TestParseCRLF(t *testing.T) {
+	crlf := strings.ReplaceAll(sample, "\n", "\r\n")
+	events, err := Parse(strings.NewReader(crlf))
+	if err != nil || len(events) != 3 {
+		t.Fatalf("CRLF parse: %d events, %v", len(events), err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"nested":       "BEGIN:VEVENT\nBEGIN:VEVENT\n",
+		"unterminated": "BEGIN:VEVENT\nDTSTART:20110829T090000Z\n",
+		"stray end":    "END:VEVENT\n",
+		"bad date":     "BEGIN:VEVENT\nDTSTART:yesterday\nEND:VEVENT\n",
+		"bad rrule":    "BEGIN:VEVENT\nDTSTART:20110829T090000Z\nDTEND:20110829T100000Z\nRRULE:FREQ=MONTHLY\nEND:VEVENT\n",
+		"bad count":    "BEGIN:VEVENT\nDTSTART:20110829T090000Z\nDTEND:20110829T100000Z\nRRULE:FREQ=DAILY;COUNT=x\nEND:VEVENT\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); !errors.Is(err, ErrBadCalendar) {
+			t.Errorf("%s: err = %v, want ErrBadCalendar", name, err)
+		}
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	name, param, value := splitProperty("DTSTART;TZID=X:20110829T090000")
+	if name != "DTSTART" || param != "TZID=X" || value != "20110829T090000" {
+		t.Errorf("split = %q %q %q", name, param, value)
+	}
+	name, param, value = splitProperty("CALSCALE")
+	if name != "CALSCALE" || param != "" || value != "" {
+		t.Errorf("no-colon split = %q %q %q", name, param, value)
+	}
+}
+
+func TestMarkBusyDegenerate(t *testing.T) {
+	busy := make([]bool, 4)
+	origin := time.Date(2011, 8, 29, 0, 0, 0, 0, time.UTC)
+	markBusy(busy, origin, origin.Add(time.Hour), origin.Add(time.Hour)) // zero length
+	for _, b := range busy {
+		if b {
+			t.Error("zero-length event marked slots busy")
+		}
+	}
+}
+
+func TestRRuleIntervalAndUntilParse(t *testing.T) {
+	rec, err := parseRRule("FREQ=WEEKLY;INTERVAL=2;UNTIL=20111001T000000Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Every != 14*24*time.Hour {
+		t.Errorf("interval-2 weekly = %v", rec.Every)
+	}
+	if rec.Until.IsZero() {
+		t.Error("UNTIL not parsed")
+	}
+	if _, err := parseRRule("FREQ=DAILY;INTERVAL=0"); err == nil {
+		t.Error("INTERVAL=0 should fail")
+	}
+	if _, err := parseRRule("FREQ=DAILY;UNTIL=nope"); err == nil {
+		t.Error("bad UNTIL should fail")
+	}
+	// Stray parts without '=' are ignored.
+	if _, err := parseRRule("FREQ=DAILY;X"); err != nil {
+		t.Errorf("stray part: %v", err)
+	}
+}
+
+func TestEventsWithoutTimesSkipped(t *testing.T) {
+	in := "BEGIN:VEVENT\nSUMMARY:no times\nEND:VEVENT\n"
+	events, err := Parse(strings.NewReader(in))
+	if err != nil || len(events) != 0 {
+		t.Errorf("events = %v, err = %v", events, err)
+	}
+}
+
+func TestBusySlotsProjection(t *testing.T) {
+	origin := time.Date(2011, 8, 29, 0, 0, 0, 0, time.UTC)
+	events := []Event{
+		// 09:00–10:30 → slots 18, 19, 20.
+		{Start: origin.Add(9 * time.Hour), End: origin.Add(10*time.Hour + 30*time.Minute)},
+		// 13:10–13:20 → partially covers slot 26 only.
+		{Start: origin.Add(13*time.Hour + 10*time.Minute), End: origin.Add(13*time.Hour + 20*time.Minute)},
+	}
+	got := BusySlots(events, origin, 48)
+	want := []int{18, 19, 20, 26}
+	if len(got) != len(want) {
+		t.Fatalf("busy = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("busy = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBusySlotsRecurrence(t *testing.T) {
+	origin := time.Date(2011, 8, 29, 0, 0, 0, 0, time.UTC)
+	daily := []Event{{
+		Start:  origin.Add(9 * time.Hour),
+		End:    origin.Add(9*time.Hour + 30*time.Minute),
+		Repeat: &Recurrence{Every: 24 * time.Hour, Count: 3},
+	}}
+	got := BusySlots(daily, origin, 4*48)
+	want := []int{18, 48 + 18, 96 + 18}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("daily recurrence busy = %v, want %v", got, want)
+	}
+
+	// UNTIL bound: the 9h and 33h occurrences fit, the 57h one does not.
+	until := []Event{{
+		Start:  origin.Add(9 * time.Hour),
+		End:    origin.Add(9*time.Hour + 30*time.Minute),
+		Repeat: &Recurrence{Every: 24 * time.Hour, Until: origin.Add(34 * time.Hour)},
+	}}
+	got = BusySlots(until, origin, 4*48)
+	if len(got) != 2 {
+		t.Fatalf("until recurrence busy = %v, want 2 slots", got)
+	}
+
+	// Unbounded recurrence clipped by the horizon.
+	open := []Event{{
+		Start:  origin.Add(9 * time.Hour),
+		End:    origin.Add(9*time.Hour + 30*time.Minute),
+		Repeat: &Recurrence{Every: 24 * time.Hour},
+	}}
+	got = BusySlots(open, origin, 2*48)
+	if len(got) != 2 {
+		t.Fatalf("open recurrence busy = %v, want 2 slots", got)
+	}
+}
+
+func TestBusySlotsOutsideHorizon(t *testing.T) {
+	origin := time.Date(2011, 8, 29, 0, 0, 0, 0, time.UTC)
+	events := []Event{
+		{Start: origin.Add(-2 * time.Hour), End: origin.Add(-time.Hour)},       // before
+		{Start: origin.Add(100 * time.Hour), End: origin.Add(101 * time.Hour)}, // after
+		{Start: origin.Add(-time.Hour), End: origin.Add(30 * time.Minute)},     // straddles start
+	}
+	got := BusySlots(events, origin, 48)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("busy = %v, want [0]", got)
+	}
+}
+
+func TestApplyBusyEndToEnd(t *testing.T) {
+	// Parse the weekly lab meeting and subtract it from a free week.
+	ics := `BEGIN:VCALENDAR
+BEGIN:VEVENT
+DTSTART:20110829T140000Z
+DTEND:20110829T150000Z
+RRULE:FREQ=WEEKLY;COUNT=2
+SUMMARY:weekly sync
+END:VEVENT
+END:VCALENDAR
+`
+	events, err := Parse(strings.NewReader(ics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Repeat == nil || events[0].Repeat.Every != 7*24*time.Hour {
+		t.Fatalf("recurrence = %+v", events[0].Repeat)
+	}
+	origin := time.Date(2011, 8, 29, 0, 0, 0, 0, time.UTC)
+	cal := schedule.NewCalendar(1, 14*48)
+	cal.SetRange(0, 0, 14*48, true)
+	ApplyBusy(cal, 0, events, origin)
+	// 14:00 Monday = slot 28; next week slot 7*48+28.
+	for _, s := range []int{28, 29, 7*48 + 28, 7*48 + 29} {
+		if cal.Available(0, s) {
+			t.Errorf("slot %d should be busy", s)
+		}
+	}
+	if !cal.Available(0, 30) || !cal.Available(0, 14*48-1) {
+		t.Error("slots outside the meetings should stay free")
+	}
+	// Third week must be free (COUNT=2).
+	if cal.Horizon() > 14*48 {
+		t.Fatal("test horizon wrong")
+	}
+}

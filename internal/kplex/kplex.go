@@ -1,0 +1,297 @@
+// Package kplex implements the k-plex machinery the paper builds on. A
+// k-plex (Seidman & Foster [19]) is a vertex set S in which every member is
+// adjacent to at least |S|−k others of S — equivalently, each member may
+// miss edges to at most k−1 others. The paper's NP-hardness proof (Theorem
+// 1, Appendix B.1) reduces the k-plex decision problem to SGQ; this package
+// provides:
+//
+//   - the k-plex predicate and maximality test;
+//   - exact maximum k-plex search (branch and bound);
+//   - enumeration of all maximal k-plexes (for small graphs);
+//   - the Theorem-1 reduction, building an SGQ instance from a k-plex
+//     decision instance, with the paper's parameter mapping s=1, k_SGQ=k−1,
+//     p=c+1.
+//
+// Note the convention offset: a paper-style SGQ attendee may have at most
+// k_SGQ strangers, while a k-plex member may have at most k−1; the
+// reduction absorbs the difference.
+package kplex
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/socialgraph"
+)
+
+// Graph is the minimal adjacency view k-plex algorithms need.
+type Graph struct {
+	n   int
+	nbr []*bitset.Set
+	adj [][]int
+}
+
+// NewGraph creates an empty undirected graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, nbr: make([]*bitset.Set, n), adj: make([][]int, n)}
+	for i := range g.nbr {
+		g.nbr[i] = bitset.New(n)
+	}
+	return g
+}
+
+// AddEdge connects u and v (idempotent, ignores self-loops).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	if g.nbr[u].Contains(v) {
+		return
+	}
+	g.nbr[u].Add(v)
+	g.nbr[v].Add(u)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// HasEdge reports adjacency.
+func (g *Graph) HasEdge(u, v int) bool { return g.nbr[u].Contains(v) }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// IsKPlex reports whether the vertex set is a k-plex: every member is
+// adjacent to at least |S|−k members (itself included in the count, per the
+// standard definition deg_S(v) ≥ |S|−k).
+func (g *Graph) IsKPlex(members *bitset.Set, k int) bool {
+	size := members.Count()
+	ok := true
+	members.ForEach(func(v int) bool {
+		// deg within S plus v itself must reach size−k.
+		if g.nbr[v].AndCount(members)+k < size {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsMaximalKPlex reports whether members is a k-plex that cannot be
+// extended by any outside vertex.
+func (g *Graph) IsMaximalKPlex(members *bitset.Set, k int) bool {
+	if !g.IsKPlex(members, k) {
+		return false
+	}
+	ext := members.Clone()
+	for v := 0; v < g.n; v++ {
+		if members.Contains(v) {
+			continue
+		}
+		ext.Add(v)
+		if g.IsKPlex(ext, k) {
+			return false
+		}
+		ext.Remove(v)
+	}
+	return true
+}
+
+// MaximumKPlex returns a k-plex of maximum cardinality, found by
+// branch-and-bound over the vertex order with a greedy incumbent and a
+// size bound. Exponential in the worst case (the problem is NP-hard [11]);
+// intended for the moderate graphs of this repository.
+func (g *Graph) MaximumKPlex(k int) *bitset.Set {
+	if k < 1 || g.n == 0 {
+		return bitset.New(g.n)
+	}
+	best := bitset.New(g.n)
+	cur := bitset.New(g.n)
+	var rec func(next int)
+	rec = func(next int) {
+		if cur.Count()+(g.n-next) <= best.Count() {
+			return // not enough vertices left to beat the incumbent
+		}
+		if next == g.n {
+			if cur.Count() > best.Count() {
+				best = cur.Clone()
+			}
+			return
+		}
+		// Include next when it keeps the k-plex property.
+		cur.Add(next)
+		if g.IsKPlex(cur, k) {
+			rec(next + 1)
+		}
+		cur.Remove(next)
+		// Exclude branch.
+		rec(next + 1)
+	}
+	rec(0)
+	// The empty set bound: any single vertex is a k-plex for k ≥ 1.
+	if best.Count() == 0 && g.n > 0 {
+		best.Add(0)
+	}
+	return best
+}
+
+// Hold guards against pathological recursion in MaximalKPlexes.
+const maxEnumeration = 1 << 20
+
+// MaximalKPlexes enumerates all maximal k-plexes of size at least minSize.
+// It uses a set-enumeration tree with the k-plex property as a pruning
+// filter (a superset of a non-k-plex that contains its violating vertex...
+// note that the k-plex property is NOT hereditary in general, but it is
+// hereditary downward: every subset of a k-plex obtained by deleting
+// vertices is again a k-plex, so enumeration by extension is sound).
+func (g *Graph) MaximalKPlexes(k, minSize int) []*bitset.Set {
+	var out []*bitset.Set
+	cur := bitset.New(g.n)
+	steps := 0
+	var rec func(next int)
+	rec = func(next int) {
+		steps++
+		if steps > maxEnumeration {
+			return
+		}
+		extended := false
+		for v := next; v < g.n; v++ {
+			cur.Add(v)
+			if g.IsKPlex(cur, k) {
+				extended = true
+				rec(v + 1)
+			}
+			cur.Remove(v)
+		}
+		if !extended && cur.Count() >= minSize {
+			// cur could still be extendable by a vertex with smaller index
+			// than the branch position; verify full maximality.
+			if g.IsMaximalKPlex(cur, k) {
+				out = append(out, cur.Clone())
+			}
+		}
+	}
+	rec(0)
+	return dedupe(out)
+}
+
+func dedupe(sets []*bitset.Set) []*bitset.Set {
+	var out []*bitset.Set
+	for _, s := range sets {
+		dup := false
+		for _, t := range out {
+			if s.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// --- Theorem 1 reduction -------------------------------------------------
+
+// Reduction is the SGQ instance produced from a k-plex decision instance
+// per Appendix B.1: a new initiator q adjacent to every original vertex,
+// all edge distances 1, and query parameters SGQ(p=c+1, s=1, k_SGQ=k−1).
+type Reduction struct {
+	// SocialGraph is the constructed weighted graph (original vertices keep
+	// their ids; Q is the added initiator).
+	SocialGraph *socialgraph.Graph
+	Q           int
+	P           int // c + 1
+	S           int // always 1
+	K           int // k − 1
+}
+
+// Reduce builds the Theorem-1 reduction deciding "does g contain a k-plex
+// with c vertices?".
+func Reduce(g *Graph, k, c int) *Reduction {
+	sg := socialgraph.New()
+	sg.AddVertices(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				sg.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	q := sg.AddVertices(1)
+	for v := 0; v < g.n; v++ {
+		sg.MustAddEdge(q, v, 1)
+	}
+	return &Reduction{SocialGraph: sg, Q: q, P: c + 1, S: 1, K: k - 1}
+}
+
+// Decide answers the k-plex decision problem through SGQ, as the proof
+// prescribes: g has a k-plex of size c iff the reduced SGQ instance has a
+// feasible group. It returns the witness vertex set (original ids) when one
+// exists.
+func Decide(g *Graph, k, c int) (*bitset.Set, bool) {
+	if c <= 0 {
+		return bitset.New(g.n), true
+	}
+	if c > g.n || k < 1 {
+		return nil, false
+	}
+	red := Reduce(g, k, c)
+	rg, err := red.SocialGraph.ExtractRadiusGraph(red.Q, red.S)
+	if err != nil {
+		return nil, false
+	}
+	grp, _, err := core.SGSelect(rg, red.P, red.K, nil, core.DefaultOptions())
+	if err != nil {
+		return nil, false
+	}
+	witness := bitset.New(g.n)
+	for _, idx := range grp.Members {
+		if orig := rg.Orig[idx]; orig != red.Q {
+			witness.Add(orig)
+		}
+	}
+	return witness, true
+}
+
+// MaximumKPlexViaSGQ finds the maximum k-plex size by binary search over
+// the SGQ oracle — a demonstration that SGQ is at least as hard as maximum
+// k-plex, which is the content of Theorem 1.
+func MaximumKPlexViaSGQ(g *Graph, k int) int {
+	lo, hi := 1, g.n
+	best := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, ok := Decide(g, k, mid); ok {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+// CohesionStats summarizes how k-plex-like a group is, used by analysis
+// tooling: the minimum within-group degree and the smallest k for which the
+// set is a k-plex.
+func (g *Graph) CohesionStats(members *bitset.Set) (minDegree, smallestK int) {
+	size := members.Count()
+	if size == 0 {
+		return 0, 0
+	}
+	minDegree = math.MaxInt
+	members.ForEach(func(v int) bool {
+		d := g.nbr[v].AndCount(members)
+		if d < minDegree {
+			minDegree = d
+		}
+		return true
+	})
+	return minDegree, size - minDegree
+}

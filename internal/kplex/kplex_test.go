@@ -1,0 +1,298 @@
+package kplex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// path builds a path graph 0-1-2-...-n-1.
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// clique builds K_n.
+func clique(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestIsKPlex(t *testing.T) {
+	g := clique(4)
+	all := bitset.FromIndices(4, 0, 1, 2, 3)
+	if !g.IsKPlex(all, 1) {
+		t.Error("a clique must be a 1-plex")
+	}
+	// Remove one edge: no longer a 1-plex, still a 2-plex.
+	g2 := NewGraph(4)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}} // missing 2-3
+	for _, e := range edges {
+		g2.AddEdge(e[0], e[1])
+	}
+	if g2.IsKPlex(all, 1) {
+		t.Error("missing edge must break the 1-plex property")
+	}
+	if !g2.IsKPlex(all, 2) {
+		t.Error("one missing edge per vertex keeps the 2-plex property")
+	}
+	// A star on 4 vertices: leaves have degree 1, so within the whole set a
+	// leaf has deg_S = 1 ≥ 4−k requires k ≥ 3.
+	star := NewGraph(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	if star.IsKPlex(all, 2) {
+		t.Error("star should not be a 2-plex")
+	}
+	if !star.IsKPlex(all, 3) {
+		t.Error("star should be a 3-plex")
+	}
+}
+
+func TestIsKPlexEdgeCases(t *testing.T) {
+	g := path(3)
+	empty := bitset.New(3)
+	if !g.IsKPlex(empty, 1) {
+		t.Error("the empty set is vacuously a k-plex")
+	}
+	single := bitset.FromIndices(3, 1)
+	if !g.IsKPlex(single, 1) {
+		t.Error("a singleton is a 1-plex")
+	}
+	g.AddEdge(0, 0)  // self loop ignored
+	g.AddEdge(-1, 2) // out of range ignored
+	g.AddEdge(0, 9)
+	if g.Degree(0) != 1 {
+		t.Errorf("degree(0) = %d after invalid AddEdge calls, want 1", g.Degree(0))
+	}
+	g.AddEdge(0, 1) // duplicate ignored
+	if g.Degree(0) != 1 {
+		t.Error("duplicate edge changed the degree")
+	}
+}
+
+func TestIsMaximalKPlex(t *testing.T) {
+	g := clique(4)
+	sub := bitset.FromIndices(4, 0, 1, 2)
+	if g.IsMaximalKPlex(sub, 1) {
+		t.Error("K3 inside K4 is not maximal")
+	}
+	all := bitset.FromIndices(4, 0, 1, 2, 3)
+	if !g.IsMaximalKPlex(all, 1) {
+		t.Error("K4 is a maximal 1-plex of itself")
+	}
+	if g.IsMaximalKPlex(bitset.FromIndices(4, 0), 1) {
+		t.Error("a singleton in K4 is not maximal")
+	}
+}
+
+func TestMaximumKPlexOnKnownGraphs(t *testing.T) {
+	// K5: maximum 1-plex is the whole clique.
+	if got := clique(5).MaximumKPlex(1).Count(); got != 5 {
+		t.Errorf("K5 maximum 1-plex size = %d, want 5", got)
+	}
+	// Path P4 (0-1-2-3): maximum 1-plex (clique) has size 2; maximum 2-plex
+	// is {0,1,2} or {1,2,3} (each member misses at most one).
+	p := path(4)
+	if got := p.MaximumKPlex(1).Count(); got != 2 {
+		t.Errorf("P4 maximum 1-plex size = %d, want 2", got)
+	}
+	if got := p.MaximumKPlex(2).Count(); got != 3 {
+		t.Errorf("P4 maximum 2-plex size = %d, want 3", got)
+	}
+	// C5 (5-cycle): maximum 2-plex has size 4? Each vertex in a set of 4
+	// must have deg_S ≥ 2. Take {0,1,2,3}: deg(0)={1,4∉S}=1 < 2. Size 3:
+	// {0,1,2}: deg(1)=2, deg(0)=1 ≥ 3−2 ✓. So maximum 2-plex of C5 is 3.
+	c5 := NewGraph(5)
+	for i := 0; i < 5; i++ {
+		c5.AddEdge(i, (i+1)%5)
+	}
+	if got := c5.MaximumKPlex(2).Count(); got != 3 {
+		t.Errorf("C5 maximum 2-plex size = %d, want 3", got)
+	}
+	// Degenerate inputs.
+	if got := NewGraph(0).MaximumKPlex(1).Count(); got != 0 {
+		t.Errorf("empty graph k-plex size = %d", got)
+	}
+	if got := path(3).MaximumKPlex(0).Count(); got != 0 {
+		t.Errorf("k=0 should yield the empty plex, got %d", got)
+	}
+}
+
+func TestMaximalKPlexEnumeration(t *testing.T) {
+	// Triangle plus pendant: 0-1-2 triangle, 3 attached to 2.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	plexes := g.MaximalKPlexes(1, 2)
+	// Maximal cliques: {0,1,2} and {2,3}.
+	if len(plexes) != 2 {
+		t.Fatalf("found %d maximal 1-plexes, want 2: %v", len(plexes), plexes)
+	}
+	for _, p := range plexes {
+		if !g.IsMaximalKPlex(p, 1) {
+			t.Errorf("enumerated set %v is not a maximal 1-plex", p)
+		}
+	}
+}
+
+func TestReductionStructure(t *testing.T) {
+	g := path(4)
+	red := Reduce(g, 2, 3)
+	if red.P != 4 || red.S != 1 || red.K != 1 {
+		t.Errorf("reduction parameters = p%d s%d k%d, want p4 s1 k1", red.P, red.S, red.K)
+	}
+	// q is adjacent to every original vertex with distance 1.
+	for v := 0; v < 4; v++ {
+		if d, ok := red.SocialGraph.EdgeDistance(red.Q, v); !ok || d != 1 {
+			t.Errorf("q-%d distance = %v, %v; want 1", v, d, ok)
+		}
+	}
+	// Original edges preserved.
+	if _, ok := red.SocialGraph.EdgeDistance(0, 1); !ok {
+		t.Error("original edge 0-1 missing")
+	}
+	if _, ok := red.SocialGraph.EdgeDistance(0, 2); ok {
+		t.Error("non-edge 0-2 appeared")
+	}
+}
+
+func TestDecideMatchesDirectSearch(t *testing.T) {
+	// P4: has a 2-plex of size 3, not of size 4.
+	g := path(4)
+	if w, ok := Decide(g, 2, 3); !ok {
+		t.Error("P4 should contain a 2-plex of size 3")
+	} else if !g.IsKPlex(w, 2) || w.Count() != 3 {
+		t.Errorf("witness %v is not a size-3 2-plex", w)
+	}
+	if _, ok := Decide(g, 2, 4); ok {
+		t.Error("P4 should not contain a 2-plex of size 4")
+	}
+	// Degenerate parameters.
+	if _, ok := Decide(g, 2, 0); !ok {
+		t.Error("c=0 is trivially satisfiable")
+	}
+	if _, ok := Decide(g, 2, 9); ok {
+		t.Error("c>n must be unsatisfiable")
+	}
+	if _, ok := Decide(g, 0, 2); ok {
+		t.Error("k=0 is rejected")
+	}
+}
+
+func TestMaximumViaSGQEqualsDirect(t *testing.T) {
+	g := NewGraph(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}, {1, 3}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	for k := 1; k <= 3; k++ {
+		direct := g.MaximumKPlex(k).Count()
+		viaSGQ := MaximumKPlexViaSGQ(g, k)
+		if direct != viaSGQ {
+			t.Errorf("k=%d: direct %d != via SGQ %d", k, direct, viaSGQ)
+		}
+	}
+}
+
+// TestQuickReductionEquivalence is the empirical Theorem 1: the SGQ oracle
+// and direct maximum k-plex search agree on random graphs.
+func TestQuickReductionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(5)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.5 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		k := 1 + r.Intn(2)
+		direct := g.MaximumKPlex(k).Count()
+		via := MaximumKPlexViaSGQ(g, k)
+		if direct != via {
+			t.Logf("seed %d: direct %d, via SGQ %d (n=%d k=%d)", seed, direct, via, n, k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaximumIsKPlex: whatever MaximumKPlex returns must satisfy the
+// predicate and no single-vertex extension may beat it.
+func TestQuickMaximumIsKPlex(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.6 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		k := 1 + r.Intn(3)
+		best := g.MaximumKPlex(k)
+		if !g.IsKPlex(best, k) {
+			return false
+		}
+		// No k-plex of size best+1 may exist (checked exhaustively for the
+		// small n used here).
+		target := best.Count() + 1
+		members := bitset.New(n)
+		var found bool
+		var rec func(next, chosen int)
+		rec = func(next, chosen int) {
+			if found || chosen == target {
+				found = found || g.IsKPlex(members, k)
+				return
+			}
+			for v := next; v < n; v++ {
+				members.Add(v)
+				rec(v+1, chosen+1)
+				members.Remove(v)
+			}
+		}
+		rec(0, 0)
+		return !found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCohesionStats(t *testing.T) {
+	g := clique(4)
+	all := bitset.FromIndices(4, 0, 1, 2, 3)
+	minDeg, k := g.CohesionStats(all)
+	if minDeg != 3 || k != 1 {
+		t.Errorf("K4 cohesion = (%d,%d), want (3,1)", minDeg, k)
+	}
+	p := path(4)
+	minDeg, k = p.CohesionStats(all)
+	if minDeg != 1 || k != 3 {
+		t.Errorf("P4 cohesion = (%d,%d), want (1,3)", minDeg, k)
+	}
+	if d, kk := p.CohesionStats(bitset.New(4)); d != 0 || kk != 0 {
+		t.Error("empty set cohesion should be zeros")
+	}
+}

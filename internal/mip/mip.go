@@ -1,0 +1,421 @@
+package mip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Problem is a mixed 0/1-integer linear program in minimization form.
+// Variables have bounds [Lower, Upper]; integer variables are branched to
+// integrality by the solver.
+type Problem struct {
+	obj     []float64
+	lower   []float64
+	upper   []float64
+	integer []bool
+	rows    []row
+}
+
+type row struct {
+	coefs map[int]float64
+	sense Sense
+	rhs   float64
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar adds a variable with the given objective coefficient and bounds,
+// returning its index. integer marks it for branching (use bounds [0,1] for
+// binaries).
+func (p *Problem) AddVar(obj, lo, hi float64, integer bool) int {
+	p.obj = append(p.obj, obj)
+	p.lower = append(p.lower, lo)
+	p.upper = append(p.upper, hi)
+	p.integer = append(p.integer, integer)
+	return len(p.obj) - 1
+}
+
+// AddBinary adds a 0/1 integer variable.
+func (p *Problem) AddBinary(obj float64) int { return p.AddVar(obj, 0, 1, true) }
+
+// AddConstraint adds Σ coefs[j]·x_j (sense) rhs. The coefficient map is
+// copied.
+func (p *Problem) AddConstraint(coefs map[int]float64, sense Sense, rhs float64) {
+	c := make(map[int]float64, len(coefs))
+	for j, v := range coefs {
+		if v != 0 {
+			c[j] = v
+		}
+	}
+	p.rows = append(p.rows, row{coefs: c, sense: sense, rhs: rhs})
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Solution is an optimal (or best-found) assignment.
+type Solution struct {
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes evaluated.
+	Nodes int
+	// Proven reports whether optimality was proven (false only when the
+	// node limit interrupted the search with an incumbent in hand).
+	Proven bool
+}
+
+// SolveOptions controls the branch-and-bound driver.
+type SolveOptions struct {
+	// MaxNodes bounds the search tree size (0 = default 1<<22).
+	MaxNodes int
+	// Parallel is the number of worker goroutines exploring the tree
+	// (0 or 1 = sequential). The root is split breadth-first into a
+	// frontier of subtrees, one DFS worker per frontier node, all sharing
+	// the incumbent bound — the stdlib counterpart of the paper's remark
+	// that CPLEX exploited all eight cores of their test machine.
+	Parallel int
+}
+
+// Solve runs branch and bound with LP-relaxation bounds and returns the
+// optimal solution, ErrInfeasible, ErrUnbounded, or ErrNodeLimit (when the
+// budget ran out before any incumbent was found).
+func (p *Problem) Solve(opt SolveOptions) (*Solution, error) {
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 1 << 22
+	}
+	for j := range p.obj {
+		if p.lower[j] > p.upper[j]+eps {
+			return nil, ErrInfeasible
+		}
+		if math.IsInf(p.lower[j], -1) {
+			return nil, fmt.Errorf("mip: variable %d has no finite lower bound", j)
+		}
+	}
+
+	sh := &shared{best: math.Inf(1), maxNodes: int64(opt.MaxNodes)}
+	lower := append([]float64(nil), p.lower...)
+	upper := append([]float64(nil), p.upper...)
+
+	var err error
+	if opt.Parallel > 1 {
+		err = p.solveParallel(sh, lower, upper, opt.Parallel)
+	} else {
+		s := &bbState{p: p, sh: sh}
+		err = s.branch(lower, upper, 0)
+	}
+	if err != nil && err != errBudget {
+		return nil, err
+	}
+	if sh.bestX == nil {
+		if err == errBudget {
+			return nil, ErrNodeLimit
+		}
+		return nil, ErrInfeasible
+	}
+	return &Solution{
+		X:         sh.bestX,
+		Objective: sh.best,
+		Nodes:     int(sh.nodes),
+		Proven:    err == nil,
+	}, nil
+}
+
+var errBudget = fmt.Errorf("mip: internal budget sentinel")
+
+// shared is the cross-worker incumbent and node budget.
+type shared struct {
+	mu       sync.Mutex
+	best     float64
+	bestX    []float64
+	nodes    int64
+	maxNodes int64
+}
+
+// tick consumes one node from the budget; false means the budget is gone.
+func (sh *shared) tick() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.nodes >= sh.maxNodes {
+		return false
+	}
+	sh.nodes++
+	return true
+}
+
+func (sh *shared) bound() float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.best
+}
+
+// offer installs a new incumbent if it improves on the current one.
+func (sh *shared) offer(obj float64, x []float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if obj < sh.best {
+		sh.best = obj
+		sh.bestX = x
+	}
+}
+
+type bbState struct {
+	p  *Problem
+	sh *shared
+}
+
+// branch solves the LP relaxation under the given bounds and recurses on the
+// most fractional integer variable.
+func (s *bbState) branch(lower, upper []float64, depth int) error {
+	if !s.sh.tick() {
+		return errBudget
+	}
+	x, obj, err := s.p.relax(lower, upper)
+	if err == ErrInfeasible {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if obj >= s.sh.bound()-1e-9 {
+		return nil // bound: cannot improve the incumbent
+	}
+
+	frac := mostFractional(s.p, x)
+	if frac == -1 {
+		s.sh.offer(obj, roundIntegers(s.p, x))
+		return nil
+	}
+
+	floorV := math.Floor(x[frac])
+	// Explore the nearer child first.
+	children := [2][2]float64{
+		{lower[frac], floorV},     // x ≤ floor
+		{floorV + 1, upper[frac]}, // x ≥ ceil
+	}
+	order := [2]int{0, 1}
+	if x[frac]-floorV > 0.5 {
+		order = [2]int{1, 0}
+	}
+	for _, idx := range order {
+		lo, hi := children[idx][0], children[idx][1]
+		if lo > hi+eps {
+			continue
+		}
+		savedLo, savedHi := lower[frac], upper[frac]
+		lower[frac], upper[frac] = lo, hi
+		err := s.branch(lower, upper, depth+1)
+		lower[frac], upper[frac] = savedLo, savedHi
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mostFractional picks the integer variable farthest from integrality, or
+// -1 when x is integer feasible.
+func mostFractional(p *Problem, x []float64) int {
+	frac := -1
+	fracDist := 0.0
+	for j, isInt := range p.integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > intTol && d > fracDist {
+			fracDist = d
+			frac = j
+		}
+	}
+	return frac
+}
+
+func roundIntegers(p *Problem, x []float64) []float64 {
+	xi := append([]float64(nil), x...)
+	for j, isInt := range p.integer {
+		if isInt {
+			xi[j] = math.Round(xi[j])
+		}
+	}
+	return xi
+}
+
+// solveParallel splits the root breadth-first into up to `workers` open
+// subproblems and explores each with a DFS worker sharing the incumbent.
+func (p *Problem) solveParallel(sh *shared, lower, upper []float64, workers int) error {
+	type node struct {
+		lower, upper []float64
+	}
+	frontier := []node{{lower, upper}}
+
+	// Breadth-first expansion until the frontier is wide enough.
+	for len(frontier) > 0 && len(frontier) < workers {
+		nd := frontier[0]
+		frontier = frontier[1:]
+		if !sh.tick() {
+			return errBudget
+		}
+		x, obj, err := p.relax(nd.lower, nd.upper)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if obj >= sh.bound()-1e-9 {
+			continue
+		}
+		frac := mostFractional(p, x)
+		if frac == -1 {
+			sh.offer(obj, roundIntegers(p, x))
+			continue
+		}
+		floorV := math.Floor(x[frac])
+		for _, child := range [][2]float64{{nd.lower[frac], floorV}, {floorV + 1, nd.upper[frac]}} {
+			if child[0] > child[1]+eps {
+				continue
+			}
+			lo := append([]float64(nil), nd.lower...)
+			hi := append([]float64(nil), nd.upper...)
+			lo[frac], hi[frac] = child[0], child[1]
+			frontier = append(frontier, node{lo, hi})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(frontier))
+	for _, nd := range frontier {
+		wg.Add(1)
+		go func(nd node) {
+			defer wg.Done()
+			s := &bbState{p: p, sh: sh}
+			if err := s.branch(nd.lower, nd.upper, 0); err != nil {
+				errCh <- err
+			}
+		}(nd)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relax builds and solves the LP relaxation under the given bounds.
+// Variables are shifted to y = x − lower; fixed variables (lower == upper)
+// are substituted out.
+func (p *Problem) relax(lower, upper []float64) ([]float64, float64, error) {
+	n := len(p.obj)
+	colOf := make([]int, n) // -1 when substituted out
+	nCols := 0
+	for j := 0; j < n; j++ {
+		if upper[j]-lower[j] < eps {
+			colOf[j] = -1
+		} else {
+			colOf[j] = nCols
+			nCols++
+		}
+	}
+
+	var (
+		a     [][]float64
+		b     []float64
+		sense []Sense
+	)
+	objConst := 0.0
+	c := make([]float64, nCols)
+	for j := 0; j < n; j++ {
+		objConst += p.obj[j] * lower[j]
+		if colOf[j] >= 0 {
+			c[colOf[j]] = p.obj[j]
+		}
+	}
+
+	for _, r := range p.rows {
+		rowVec := make([]float64, nCols)
+		rhs := r.rhs
+		nonzero := false
+		for j, v := range r.coefs {
+			rhs -= v * lower[j]
+			if colOf[j] >= 0 {
+				rowVec[colOf[j]] += v
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			// All variables fixed: the constraint must hold as stated.
+			ok := true
+			switch r.sense {
+			case LE:
+				ok = 0 <= rhs+1e-7
+			case GE:
+				ok = 0 >= rhs-1e-7
+			case EQ:
+				ok = math.Abs(rhs) <= 1e-7
+			}
+			if !ok {
+				return nil, 0, ErrInfeasible
+			}
+			continue
+		}
+		a = append(a, rowVec)
+		b = append(b, rhs)
+		sense = append(sense, r.sense)
+	}
+
+	// Finite upper bounds become rows y_j ≤ upper − lower.
+	for j := 0; j < n; j++ {
+		if colOf[j] < 0 || math.IsInf(upper[j], 1) {
+			continue
+		}
+		rowVec := make([]float64, nCols)
+		rowVec[colOf[j]] = 1
+		a = append(a, rowVec)
+		b = append(b, upper[j]-lower[j])
+		sense = append(sense, LE)
+	}
+
+	lp := &stdLP{m: len(a), n: nCols, a: a, b: b, sense: sense, c: c}
+	if err := lp.validate(); err != nil {
+		return nil, 0, err
+	}
+	y, obj, err := solveStdLP(lp)
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = lower[j]
+		if colOf[j] >= 0 {
+			x[j] += y[colOf[j]]
+		}
+	}
+	return x, obj + objConst, nil
+}
+
+// String renders the problem compactly for debugging.
+func (p *Problem) String() string {
+	out := fmt.Sprintf("min over %d vars, %d constraints\n", p.NumVars(), p.NumConstraints())
+	for _, r := range p.rows {
+		keys := make([]int, 0, len(r.coefs))
+		for j := range r.coefs {
+			keys = append(keys, j)
+		}
+		sort.Ints(keys)
+		for _, j := range keys {
+			out += fmt.Sprintf(" %+g·x%d", r.coefs[j], j)
+		}
+		out += fmt.Sprintf(" %s %g\n", r.sense, r.rhs)
+	}
+	return out
+}

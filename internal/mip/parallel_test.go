@@ -1,0 +1,121 @@
+package mip
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelKnapsackMatchesSequential(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		v := []float64{10, 13, 7, 4, 9, 12, 3}
+		w := []float64{3, 4, 2, 1, 3, 5, 1}
+		cons := map[int]float64{}
+		for i := range v {
+			j := p.AddBinary(-v[i])
+			cons[j] = w[i]
+		}
+		p.AddConstraint(cons, LE, 9)
+		return p
+	}
+	seq, err := build().Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build().Solve(SolveOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.Objective-par.Objective) > 1e-6 {
+		t.Errorf("parallel %v != sequential %v", par.Objective, seq.Objective)
+	}
+	if !par.Proven {
+		t.Error("parallel run should prove optimality")
+	}
+}
+
+func TestParallelInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBinary(1)
+	y := p.AddBinary(1)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 3)
+	if _, err := p.Solve(SolveOptions{Parallel: 4}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestParallelNodeLimit(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBinary(-1)
+	y := p.AddBinary(-1)
+	p.AddConstraint(map[int]float64{x: 2, y: 2}, LE, 3)
+	if _, err := p.Solve(SolveOptions{Parallel: 2, MaxNodes: 1}); !errors.Is(err, ErrNodeLimit) {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestParallelIntegerFeasibleRoot(t *testing.T) {
+	// The LP relaxation is already integral: the frontier expansion must
+	// record the incumbent without spawning workers.
+	p := NewProblem()
+	x := p.AddBinary(-1)
+	p.AddConstraint(map[int]float64{x: 1}, LE, 1)
+	sol, err := p.Solve(SolveOptions{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != -1 || sol.X[x] != 1 {
+		t.Errorf("sol = %+v", sol)
+	}
+}
+
+// TestQuickParallelMatchesSequential: the parallel driver must return the
+// same objective as sequential on random binary programs (run with -race).
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(7)
+		build := func() *Problem {
+			rr := rand.New(rand.NewSource(seed))
+			p := NewProblem()
+			for j := 0; j < n; j++ {
+				p.AddBinary(float64(rr.Intn(21) - 10))
+			}
+			for i := 0; i < 1+rr.Intn(3); i++ {
+				coefs := map[int]float64{}
+				for j := 0; j < n; j++ {
+					if rr.Float64() < 0.6 {
+						coefs[j] = float64(rr.Intn(11) - 5)
+					}
+				}
+				if len(coefs) == 0 {
+					coefs[rr.Intn(n)] = 1
+				}
+				p.AddConstraint(coefs, Sense(rr.Intn(3)), float64(rr.Intn(13)-4))
+			}
+			return p
+		}
+		// Consume the same draws so both problems are identical.
+		_ = r
+		seq, errS := build().Solve(SolveOptions{})
+		par, errP := build().Solve(SolveOptions{Parallel: 3})
+		if (errS == nil) != (errP == nil) {
+			t.Logf("seed %d: seq err %v, par err %v", seed, errS, errP)
+			return false
+		}
+		if errS != nil {
+			return true
+		}
+		if math.Abs(seq.Objective-par.Objective) > 1e-6 {
+			t.Logf("seed %d: seq %v, par %v", seed, seq.Objective, par.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

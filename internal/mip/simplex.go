@@ -1,0 +1,296 @@
+// Package mip provides a small exact 0/1 mixed-integer programming solver:
+// a dense two-phase primal simplex for the LP relaxations and a depth-first
+// branch-and-bound driver. It is the stdlib-only stand-in for the commercial
+// IP optimizer (CPLEX) that the paper uses as an optimality yardstick in
+// Figures 1(a) and 1(d).
+//
+// The solver is deliberately general purpose — it knows nothing about group
+// queries — so the "IP" series of the reproduction retains the paper's
+// character: a generic exact solver that is far slower than the dedicated
+// SGSelect/STGSelect algorithms.
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_j x_j ≤ b
+	GE              // Σ a_j x_j ≥ b
+	EQ              // Σ a_j x_j = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+const (
+	eps      = 1e-9
+	intTol   = 1e-6
+	pivotTol = 1e-9
+)
+
+var (
+	// ErrInfeasible reports that no feasible point exists.
+	ErrInfeasible = errors.New("mip: infeasible")
+	// ErrUnbounded reports an unbounded objective.
+	ErrUnbounded = errors.New("mip: unbounded")
+	// ErrIterLimit reports that the simplex hit its iteration guard.
+	ErrIterLimit = errors.New("mip: simplex iteration limit")
+	// ErrNodeLimit reports that branch and bound exhausted its node budget
+	// before proving optimality.
+	ErrNodeLimit = errors.New("mip: node limit reached")
+)
+
+// stdLP is a standard-form linear program: minimize c·x subject to
+// a·x (sense) b with x ≥ 0.
+type stdLP struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	sense []Sense
+	c     []float64
+}
+
+// solveStdLP runs two-phase primal simplex. On success it returns the primal
+// solution and objective value.
+func solveStdLP(lp *stdLP) ([]float64, float64, error) {
+	m, n := lp.m, lp.n
+
+	// Normalize to b ≥ 0.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	sense := make([]Sense, m)
+	for i := 0; i < m; i++ {
+		a[i] = append([]float64(nil), lp.a[i]...)
+		b[i] = lp.b[i]
+		sense[i] = lp.sense[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch sense[i] {
+			case LE:
+				sense[i] = GE
+			case GE:
+				sense[i] = LE
+			}
+		}
+	}
+
+	// Column layout: [0,n) structural, then slacks/surplus, then artificials.
+	nSlack := 0
+	for i := 0; i < m; i++ {
+		if sense[i] != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for i := 0; i < m; i++ {
+		if sense[i] != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Dense tableau: m rows × (total+1) columns (last column = RHS), plus
+	// two objective rows (phase 2 then phase 1).
+	t := make([][]float64, m+2)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	slackCol := n
+	artCol := n + nSlack
+	for i := 0; i < m; i++ {
+		copy(t[i], a[i])
+		t[i][total] = b[i]
+		switch sense[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	objRow := m        // phase-2 objective (original c)
+	phase1Row := m + 1 // phase-1 objective (Σ artificials)
+	for j := 0; j < n; j++ {
+		t[objRow][j] = lp.c[j]
+	}
+	for j := n + nSlack; j < total; j++ {
+		t[phase1Row][j] = 1
+	}
+	// Price out the artificial basis from the phase-1 row.
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+nSlack {
+			for j := 0; j <= total; j++ {
+				t[phase1Row][j] -= t[i][j]
+			}
+		}
+	}
+
+	maxIter := 2000 + 200*(m+total)
+
+	if nArt > 0 {
+		if err := runSimplex(t, basis, m, total, phase1Row, maxIter); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				// Phase 1 is bounded below by 0; unbounded here means a
+				// numerical breakdown.
+				return nil, 0, ErrIterLimit
+			}
+			return nil, 0, err
+		}
+		if -t[phase1Row][total] > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis when possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > 1e-7 {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; the artificial stays at value 0.
+				_ = pivoted
+			}
+		}
+		// Forbid artificials from re-entering: zero their columns.
+		for i := 0; i <= m+1; i++ {
+			for j := n + nSlack; j < total; j++ {
+				t[i][j] = 0
+			}
+		}
+	}
+
+	if err := runSimplex(t, basis, m, n+nSlack, objRow, maxIter); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	return x, -t[objRow][total], nil
+}
+
+// runSimplex performs primal simplex iterations on the tableau using the
+// Dantzig rule, falling back to Bland's rule after a burn-in to guarantee
+// termination under degeneracy. cols limits the eligible entering columns.
+func runSimplex(t [][]float64, basis []int, m, cols, objRow, maxIter int) error {
+	total := len(t[0]) - 1
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < cols; j++ {
+				if t[objRow][j] < best {
+					best = t[objRow][j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				if t[objRow][j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test (Bland tie-break on basis index).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > pivotTol {
+				ratio := t[i][total] / t[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+	}
+	return ErrIterLimit
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col, total int) {
+	pv := t[row][col]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}
+
+// validate sanity-checks dimensions.
+func (lp *stdLP) validate() error {
+	if len(lp.a) != lp.m || len(lp.b) != lp.m || len(lp.sense) != lp.m || len(lp.c) != lp.n {
+		return fmt.Errorf("mip: inconsistent LP dimensions")
+	}
+	for i, row := range lp.a {
+		if len(row) != lp.n {
+			return fmt.Errorf("mip: row %d has %d columns, want %d", i, len(row), lp.n)
+		}
+	}
+	return nil
+}

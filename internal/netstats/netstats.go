@@ -1,0 +1,189 @@
+// Package netstats characterizes datasets the way the paper's experiment
+// setup does (Section 5.1): degree distribution of the social graph,
+// clustering (the property the coauthorship-style generator must
+// reproduce), community mixing, distance distribution, and schedule
+// statistics (free fraction, run lengths, pairwise overlap). cmd/stgqgen
+// -stats prints these so a user can judge a generated dataset before
+// running experiments on it.
+package netstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// GraphStats summarizes a social graph.
+type GraphStats struct {
+	Vertices    int
+	Edges       int
+	MinDegree   int
+	MedDegree   int
+	P90Degree   int
+	MaxDegree   int
+	MeanDegree  float64
+	Clustering  float64 // global clustering coefficient (transitivity)
+	MeanDist    float64 // mean edge distance
+	MinDist     float64
+	MaxDist     float64
+	MixingRatio float64 // fraction of edges within a community
+}
+
+// Graph computes GraphStats. community may be nil.
+func Graph(g *socialgraph.Graph, community []int) GraphStats {
+	n := g.NumVertices()
+	st := GraphStats{Vertices: n, Edges: g.NumEdges(), MinDist: math.Inf(1)}
+	if n == 0 {
+		st.MinDist = 0
+		return st
+	}
+	degrees := make([]int, n)
+	totalDeg := 0
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(v)
+		totalDeg += degrees[v]
+	}
+	sort.Ints(degrees)
+	st.MinDegree = degrees[0]
+	st.MedDegree = degrees[n/2]
+	st.P90Degree = degrees[(n-1)*9/10]
+	st.MaxDegree = degrees[n-1]
+	st.MeanDegree = float64(totalDeg) / float64(n)
+
+	// Edge distance distribution and community mixing.
+	var distSum float64
+	var intra, total int
+	for u := 0; u < n; u++ {
+		g.Neighbors(u, func(v int, d float64) {
+			if u >= v {
+				return
+			}
+			distSum += d
+			if d < st.MinDist {
+				st.MinDist = d
+			}
+			if d > st.MaxDist {
+				st.MaxDist = d
+			}
+			total++
+			if community != nil && community[u] == community[v] {
+				intra++
+			}
+		})
+	}
+	if total > 0 {
+		st.MeanDist = distSum / float64(total)
+		st.MixingRatio = float64(intra) / float64(total)
+	} else {
+		st.MinDist = 0
+	}
+
+	// Global clustering coefficient: 3×triangles / open+closed triads.
+	var triangles, triads int64
+	for v := 0; v < n; v++ {
+		var nbrs []int
+		g.Neighbors(v, func(u int, _ float64) { nbrs = append(nbrs, u) })
+		d := len(nbrs)
+		triads += int64(d * (d - 1) / 2)
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triads > 0 {
+		// Each triangle is counted once per corner.
+		st.Clustering = float64(triangles) / float64(triads)
+	}
+	return st
+}
+
+// ScheduleStats summarizes availability calendars.
+type ScheduleStats struct {
+	Users        int
+	Horizon      int
+	FreeFraction float64 // share of (user, slot) pairs that are free
+	MeanRunLen   float64 // mean length of maximal free runs
+	MaxRunLen    int
+	// MeanPairOverlap is the average, over sampled user pairs, of the
+	// fraction of slots both are free — the schedule correlation that
+	// availability pruning exploits.
+	MeanPairOverlap float64
+}
+
+// Schedules computes ScheduleStats. Pair overlap is averaged over a
+// deterministic sample of at most 2000 pairs.
+func Schedules(cal *schedule.Calendar) ScheduleStats {
+	st := ScheduleStats{Users: cal.Users(), Horizon: cal.Horizon()}
+	if st.Users == 0 || st.Horizon == 0 {
+		return st
+	}
+	var freeTotal, runTotal, runCount int
+	for u := 0; u < st.Users; u++ {
+		row := cal.Row(u)
+		freeTotal += row.Count()
+		run := 0
+		for t := 0; t < st.Horizon; t++ {
+			if row.Contains(t) {
+				run++
+				if run > st.MaxRunLen {
+					st.MaxRunLen = run
+				}
+			} else if run > 0 {
+				runTotal += run
+				runCount++
+				run = 0
+			}
+		}
+		if run > 0 {
+			runTotal += run
+			runCount++
+		}
+	}
+	st.FreeFraction = float64(freeTotal) / float64(st.Users*st.Horizon)
+	if runCount > 0 {
+		st.MeanRunLen = float64(runTotal) / float64(runCount)
+	}
+
+	pairs := 0
+	var overlap float64
+	step := 1
+	if st.Users > 64 {
+		step = st.Users / 64
+	}
+	for u := 0; u < st.Users && pairs < 2000; u += step {
+		for v := u + step; v < st.Users && pairs < 2000; v += step {
+			overlap += float64(cal.Row(u).AndCount(cal.Row(v))) / float64(st.Horizon)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		st.MeanPairOverlap = overlap / float64(pairs)
+	}
+	return st
+}
+
+// Describe renders a dataset's statistics as a human-readable report.
+func Describe(d *dataset.Dataset) string {
+	gs := Graph(d.Graph, d.Community)
+	ss := Schedules(d.Cal)
+	var b strings.Builder
+	fmt.Fprintf(&b, "social graph: %d people, %d friendships\n", gs.Vertices, gs.Edges)
+	fmt.Fprintf(&b, "  degree: min %d, median %d, p90 %d, max %d, mean %.1f\n",
+		gs.MinDegree, gs.MedDegree, gs.P90Degree, gs.MaxDegree, gs.MeanDegree)
+	fmt.Fprintf(&b, "  clustering coefficient: %.3f\n", gs.Clustering)
+	fmt.Fprintf(&b, "  distances: min %g, mean %.1f, max %g\n", gs.MinDist, gs.MeanDist, gs.MaxDist)
+	fmt.Fprintf(&b, "  intra-community edge share: %.0f%%\n", gs.MixingRatio*100)
+	fmt.Fprintf(&b, "schedules: %d users × %d slots (%d days)\n", ss.Users, ss.Horizon, d.Days)
+	fmt.Fprintf(&b, "  free fraction: %.0f%%, mean free run %.1f slots, longest %d\n",
+		ss.FreeFraction*100, ss.MeanRunLen, ss.MaxRunLen)
+	fmt.Fprintf(&b, "  mean pairwise overlap: %.0f%% of slots\n", ss.MeanPairOverlap*100)
+	return b.String()
+}

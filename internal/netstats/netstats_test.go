@@ -1,0 +1,119 @@
+package netstats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+func TestGraphStatsTriangle(t *testing.T) {
+	g := socialgraph.New()
+	g.AddVertices(3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 4)
+	g.MustAddEdge(0, 2, 6)
+	st := Graph(g, []int{0, 0, 1})
+	if st.Vertices != 3 || st.Edges != 3 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.Clustering != 1 {
+		t.Errorf("triangle clustering = %v, want 1", st.Clustering)
+	}
+	if st.MinDegree != 2 || st.MaxDegree != 2 || st.MeanDegree != 2 {
+		t.Errorf("degrees: %+v", st)
+	}
+	if st.MeanDist != 4 || st.MinDist != 2 || st.MaxDist != 6 {
+		t.Errorf("distances: %+v", st)
+	}
+	// One of three edges is intra-community (0-1).
+	if st.MixingRatio < 0.32 || st.MixingRatio > 0.34 {
+		t.Errorf("mixing = %v, want 1/3", st.MixingRatio)
+	}
+}
+
+func TestGraphStatsStar(t *testing.T) {
+	g := socialgraph.New()
+	c := g.MustAddVertex("hub")
+	for i := 0; i < 4; i++ {
+		v := g.AddVertices(1)
+		g.MustAddEdge(c, v, 1)
+	}
+	st := Graph(g, nil)
+	if st.Clustering != 0 {
+		t.Errorf("star clustering = %v, want 0", st.Clustering)
+	}
+	if st.MaxDegree != 4 || st.MinDegree != 1 {
+		t.Errorf("degrees: %+v", st)
+	}
+}
+
+func TestGraphStatsEmpty(t *testing.T) {
+	st := Graph(socialgraph.New(), nil)
+	if st.Vertices != 0 || st.Edges != 0 || st.MinDist != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestScheduleStats(t *testing.T) {
+	cal := schedule.NewCalendar(2, 10)
+	cal.SetRange(0, 0, 5, true)  // one run of 5
+	cal.SetRange(1, 2, 4, true)  // one run of 2
+	cal.SetRange(1, 6, 10, true) // one run of 4
+	st := Schedules(cal)
+	if st.FreeFraction != 11.0/20 {
+		t.Errorf("free fraction = %v, want 0.55", st.FreeFraction)
+	}
+	if st.MaxRunLen != 5 {
+		t.Errorf("max run = %d, want 5", st.MaxRunLen)
+	}
+	if st.MeanRunLen != 11.0/3 {
+		t.Errorf("mean run = %v, want 11/3", st.MeanRunLen)
+	}
+	// Overlap of the single sampled pair: slots 2,3 → 0.2.
+	if st.MeanPairOverlap != 0.2 {
+		t.Errorf("overlap = %v, want 0.2", st.MeanPairOverlap)
+	}
+}
+
+func TestScheduleStatsEmpty(t *testing.T) {
+	st := Schedules(schedule.NewCalendar(0, 0))
+	if st.FreeFraction != 0 || st.MeanRunLen != 0 {
+		t.Errorf("empty: %+v", st)
+	}
+}
+
+func TestDescribeRealDataset(t *testing.T) {
+	d := dataset.Real194(42, 2)
+	out := Describe(d)
+	for _, want := range []string{"194 people", "clustering coefficient", "free fraction", "pairwise overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	// Sanity on the generated structures through the stats lens.
+	gs := Graph(d.Graph, d.Community)
+	if gs.Clustering < 0.3 {
+		t.Errorf("community-structured graph should be clustered, got %.3f", gs.Clustering)
+	}
+	if gs.MixingRatio < 0.5 {
+		t.Errorf("most edges should be intra-community, got %.2f", gs.MixingRatio)
+	}
+	ss := Schedules(d.Cal)
+	if ss.FreeFraction < 0.2 || ss.FreeFraction > 0.8 {
+		t.Errorf("free fraction %.2f outside plausible range", ss.FreeFraction)
+	}
+}
+
+func TestSyntheticIsClusteredAndSkewed(t *testing.T) {
+	d := dataset.Synthetic(800, 7, 1)
+	gs := Graph(d.Graph, nil)
+	if gs.Clustering < 0.05 {
+		t.Errorf("triangle closure should leave clustering > 0.05, got %.3f", gs.Clustering)
+	}
+	if gs.MaxDegree < 3*gs.P90Degree {
+		t.Errorf("degree distribution should be heavy tailed: max %d vs p90 %d", gs.MaxDegree, gs.P90Degree)
+	}
+}

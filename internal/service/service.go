@@ -1,0 +1,339 @@
+// Package service exposes the activity planner as an HTTP/JSON service —
+// the "value-added service" deployment the paper's conclusion describes
+// (social networking sites and web collaboration tools; the authors were
+// integrating with Facebook). It is a thin, stateless-handler layer over
+// the public stgq API.
+//
+// Endpoints (all JSON):
+//
+//	POST /people        {"name": "ana"}                        → {"id": 0}
+//	POST /friendships   {"a": 0, "b": 1, "distance": 4}        → {}
+//	POST /availability  {"person":0,"from":36,"to":44,"available":true} → {}
+//	POST /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
+//	POST /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
+//	POST /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
+//	GET  /status                                               → counts
+//
+// Infeasible queries return 422; malformed requests 400; unknown people
+// 404.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	stgq "repro"
+)
+
+// Server is the HTTP planning service. Create with New, mount anywhere (it
+// implements http.Handler).
+type Server struct {
+	mu  sync.RWMutex
+	pl  *stgq.Planner
+	mux *http.ServeMux
+}
+
+// New creates a service over an empty population with the given schedule
+// horizon in slots.
+func New(horizonSlots int) *Server {
+	s := &Server{pl: stgq.NewPlanner(horizonSlots)}
+	s.routes()
+	return s
+}
+
+// NewWithPlanner wraps an existing planner (e.g. one loaded from a dataset
+// file).
+func NewWithPlanner(pl *stgq.Planner) *Server {
+	s := &Server{pl: pl}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /people", s.handleAddPerson)
+	s.mux.HandleFunc("POST /friendships", s.handleAddFriendship)
+	s.mux.HandleFunc("POST /availability", s.handleAvailability)
+	s.mux.HandleFunc("POST /query/group", s.handleGroupQuery)
+	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
+	s.mux.HandleFunc("POST /query/manual", s.handleManualQuery)
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- request/response types ----------------------------------------------
+
+// AddPersonRequest registers one person.
+type AddPersonRequest struct {
+	Name string `json:"name"`
+}
+
+// AddPersonResponse returns the new person's id.
+type AddPersonResponse struct {
+	ID int `json:"id"`
+}
+
+// FriendshipRequest records a social edge.
+type FriendshipRequest struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Distance float64 `json:"distance"`
+}
+
+// AvailabilityRequest marks a slot range free or busy.
+type AvailabilityRequest struct {
+	Person    int  `json:"person"`
+	From      int  `json:"from"`
+	To        int  `json:"to"`
+	Available bool `json:"available"`
+}
+
+// QueryRequest carries the query parameters shared by all query endpoints.
+type QueryRequest struct {
+	Initiator int `json:"initiator"`
+	P         int `json:"p"`
+	S         int `json:"s"`
+	K         int `json:"k"`
+	M         int `json:"m,omitempty"`
+	// Algorithm: "", "select", "baseline", or "ip".
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// MemberJSON is one attendee in a response.
+type MemberJSON struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Distance float64 `json:"distance"`
+}
+
+// GroupResponse answers /query/group.
+type GroupResponse struct {
+	Members       []MemberJSON `json:"members"`
+	TotalDistance float64      `json:"totalDistance"`
+}
+
+// PlanResponse answers /query/activity.
+type PlanResponse struct {
+	GroupResponse
+	WindowStart int    `json:"windowStart"`
+	WindowEnd   int    `json:"windowEnd"` // exclusive
+	WindowHuman string `json:"window"`
+}
+
+// ManualResponse answers /query/manual.
+type ManualResponse struct {
+	GroupResponse
+	WindowStart int `json:"windowStart"`
+	WindowEnd   int `json:"windowEnd"`
+	ObservedK   int `json:"observedK"`
+}
+
+// StatusResponse answers /status.
+type StatusResponse struct {
+	People      int `json:"people"`
+	Friendships int `json:"friendships"`
+	Horizon     int `json:"horizonSlots"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
+	var req AddPersonRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	id := s.pl.AddPerson(req.Name)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, AddPersonResponse{ID: int(id)})
+}
+
+func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
+	var req FriendshipRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	err := s.pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
+	var req AvailabilityRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	var err error
+	if req.Available {
+		err = s.pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
+	} else {
+		err = s.pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func parseAlgorithm(name string) (stgq.Algorithm, error) {
+	switch name {
+	case "", "select":
+		return stgq.AlgDefault, nil
+	case "baseline":
+		return stgq.AlgBaseline, nil
+	case "ip":
+		return stgq.AlgIP, nil
+	}
+	return 0, fmt.Errorf("%w: unknown algorithm %q", stgq.ErrBadQuery, name)
+}
+
+func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.RLock()
+	res, err := s.pl.FindGroup(stgq.SGQuery{
+		Initiator: stgq.PersonID(req.Initiator),
+		P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toGroupResponse(res))
+}
+
+func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.RLock()
+	plan, err := s.pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{
+			Initiator: stgq.PersonID(req.Initiator),
+			P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+		},
+		M: req.M,
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		GroupResponse: toGroupResponse(&plan.GroupResult),
+		WindowStart:   plan.Window.Start,
+		WindowEnd:     plan.Window.End,
+		WindowHuman:   plan.Window.Format(),
+	})
+}
+
+func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	plan, err := s.pl.PlanManually(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{
+			Initiator: stgq.PersonID(req.Initiator),
+			P:         req.P, S: req.S, K: req.K,
+		},
+		M: req.M,
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	members := make([]MemberJSON, len(plan.Members))
+	for i, m := range plan.Members {
+		members[i] = MemberJSON{ID: int(m.ID), Name: m.Name, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, ManualResponse{
+		GroupResponse: GroupResponse{Members: members, TotalDistance: plan.TotalDistance},
+		WindowStart:   plan.Window.Start,
+		WindowEnd:     plan.Window.End,
+		ObservedK:     plan.ObservedK,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := StatusResponse{
+		People:      s.pl.NumPeople(),
+		Friendships: s.pl.NumFriendships(),
+		Horizon:     s.pl.Horizon(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func toGroupResponse(res *stgq.GroupResult) GroupResponse {
+	members := make([]MemberJSON, len(res.Members))
+	for i, m := range res.Members {
+		members[i] = MemberJSON{ID: int(m.ID), Name: m.Name, Distance: m.Distance}
+	}
+	return GroupResponse{Members: members, TotalDistance: res.TotalDistance}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, stgq.ErrNoFeasibleGroup), errors.Is(err, stgq.ErrCannotCoordinate):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	case errors.Is(err, stgq.ErrPersonNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

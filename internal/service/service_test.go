@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	stgq "repro"
+	"repro/internal/dataset"
+)
+
+func post(t *testing.T, ts *httptest.Server, path string, body, into any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// buildFigure3 populates the service with the Figure 3 instance over HTTP.
+func buildFigure3(t *testing.T, ts *httptest.Server) map[string]int {
+	t.Helper()
+	ids := map[string]int{}
+	for _, name := range []string{"v2", "v3", "v4", "v6", "v7", "v8"} {
+		var resp AddPersonResponse
+		if code := post(t, ts, "/people", AddPersonRequest{Name: name}, &resp); code != http.StatusOK {
+			t.Fatalf("add %s: status %d", name, code)
+		}
+		ids[name] = resp.ID
+	}
+	edges := []struct {
+		a, b string
+		d    float64
+	}{
+		{"v7", "v2", 17}, {"v7", "v3", 18}, {"v7", "v6", 23}, {"v7", "v8", 25},
+		{"v7", "v4", 27}, {"v2", "v4", 14}, {"v2", "v6", 19}, {"v3", "v4", 20},
+		{"v4", "v6", 29},
+	}
+	for _, e := range edges {
+		code := post(t, ts, "/friendships", FriendshipRequest{A: ids[e.a], B: ids[e.b], Distance: e.d}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("edge %s-%s: status %d", e.a, e.b, code)
+		}
+	}
+	avail := map[string][][2]int{
+		"v2": {{0, 7}},
+		"v3": {{1, 3}, {4, 6}},
+		"v4": {{0, 5}, {6, 7}},
+		"v6": {{1, 7}},
+		"v7": {{0, 6}},
+		"v8": {{0, 1}, {2, 3}, {4, 6}},
+	}
+	for name, ranges := range avail {
+		for _, rg := range ranges {
+			code := post(t, ts, "/availability",
+				AvailabilityRequest{Person: ids[name], From: rg[0], To: rg[1], Available: true}, nil)
+			if code != http.StatusOK {
+				t.Fatalf("availability %s: status %d", name, code)
+			}
+		}
+	}
+	return ids
+}
+
+func TestEndToEndQueries(t *testing.T) {
+	ts := httptest.NewServer(New(7))
+	defer ts.Close()
+	ids := buildFigure3(t, ts)
+
+	// Status.
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.People != 6 || status.Friendships != 9 || status.Horizon != 7 {
+		t.Errorf("status = %+v", status)
+	}
+
+	// SGQ through every engine.
+	for _, alg := range []string{"", "select", "baseline", "ip"} {
+		var grp GroupResponse
+		code := post(t, ts, "/query/group",
+			QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1, Algorithm: alg}, &grp)
+		if code != http.StatusOK {
+			t.Fatalf("alg %q: status %d", alg, code)
+		}
+		if grp.TotalDistance != 62 {
+			t.Errorf("alg %q: distance %v, want 62", alg, grp.TotalDistance)
+		}
+	}
+
+	// STGQ.
+	var plan PlanResponse
+	code := post(t, ts, "/query/activity",
+		QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1, M: 3}, &plan)
+	if code != http.StatusOK {
+		t.Fatalf("activity: status %d", code)
+	}
+	if plan.TotalDistance != 67 || plan.WindowStart != 1 || plan.WindowEnd != 5 {
+		t.Errorf("activity = %+v", plan)
+	}
+	if plan.WindowHuman == "" {
+		t.Error("missing human-readable window")
+	}
+
+	// Manual coordination.
+	var manual ManualResponse
+	code = post(t, ts, "/query/manual",
+		QueryRequest{Initiator: ids["v7"], P: 4, S: 1, M: 3}, &manual)
+	if code != http.StatusOK {
+		t.Fatalf("manual: status %d", code)
+	}
+	if len(manual.Members) != 4 {
+		t.Errorf("manual = %+v", manual)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := httptest.NewServer(New(7))
+	defer ts.Close()
+	ids := buildFigure3(t, ts)
+
+	// Infeasible → 422.
+	code := post(t, ts, "/query/group", QueryRequest{Initiator: ids["v7"], P: 6, S: 1, K: 0}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible: status %d, want 422", code)
+	}
+	// Unknown person → 404.
+	code = post(t, ts, "/query/group", QueryRequest{Initiator: 99, P: 3, S: 1, K: 1}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown person: status %d, want 404", code)
+	}
+	// Bad parameters → 400.
+	code = post(t, ts, "/query/group", QueryRequest{Initiator: ids["v7"], P: 3, S: 0, K: 1}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("s=0: status %d, want 400", code)
+	}
+	// Unknown algorithm → 400.
+	code = post(t, ts, "/query/group", QueryRequest{Initiator: ids["v7"], P: 3, S: 1, K: 1, Algorithm: "magic"}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad algorithm: status %d, want 400", code)
+	}
+	// Malformed JSON → 400.
+	resp, err := http.Post(ts.URL+"/query/group", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown fields rejected → 400.
+	resp, err = http.Post(ts.URL+"/people", "application/json", bytes.NewReader([]byte(`{"name":"x","bogus":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	// Bad friendship endpoint → 400.
+	code = post(t, ts, "/friendships", FriendshipRequest{A: 0, B: 99, Distance: 2}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad friendship: status %d, want 400", code)
+	}
+	// Availability out of range → 400.
+	code = post(t, ts, "/availability", AvailabilityRequest{Person: ids["v7"], From: -2, To: 3, Available: true}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad availability: status %d, want 400", code)
+	}
+	// Wrong method → 405 from ServeMux.
+	resp, err = http.Get(ts.URL + "/people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /people: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// Concurrent read-queries against a dataset-backed service must be
+	// race-free (run under -race in CI).
+	d := dataset.Real194(7, 2)
+	srv := NewWithPlanner(stgq.FromDataset(d))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	q := d.PickInitiator(75)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(QueryRequest{Initiator: q, P: 3 + i%3, S: 1, K: 2, M: 2 + i%3})
+			resp, err := http.Post(ts.URL+"/query/activity", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

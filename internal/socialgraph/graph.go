@@ -1,0 +1,358 @@
+// Package socialgraph implements the weighted social graph substrate of the
+// paper: an undirected graph whose vertices are people and whose edge weights
+// are social distances (smaller = closer), together with the radius graph
+// extraction of Section 3.2.1 — the dynamic program for the i-edge minimum
+// distance (Definition 1) that keeps exactly the candidate attendees
+// reachable from the initiator within s edges.
+package socialgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Inf is the distance assigned to vertices unreachable within the radius.
+var Inf = math.Inf(1)
+
+var (
+	// ErrVertexNotFound reports a lookup of an unknown vertex.
+	ErrVertexNotFound = errors.New("socialgraph: vertex not found")
+	// ErrSelfLoop reports an attempt to connect a vertex to itself.
+	ErrSelfLoop = errors.New("socialgraph: self loops are not allowed")
+	// ErrNegativeDistance reports a non-positive social distance.
+	ErrNegativeDistance = errors.New("socialgraph: social distance must be positive")
+)
+
+type edge struct {
+	to   int
+	dist float64
+}
+
+// Graph is a mutable, undirected, weighted social graph. Vertices are
+// addressed by dense integer ids assigned by AddVertex; an optional label per
+// vertex supports name-based lookup.
+type Graph struct {
+	adj    [][]edge
+	labels []string
+	byName map[string]int
+}
+
+// New returns an empty Graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]int)}
+}
+
+// AddVertex adds a vertex with the given label (may be empty) and returns its
+// id. Duplicate non-empty labels are rejected.
+func (g *Graph) AddVertex(label string) (int, error) {
+	if label != "" {
+		if _, dup := g.byName[label]; dup {
+			return 0, fmt.Errorf("socialgraph: duplicate vertex label %q", label)
+		}
+	}
+	id := len(g.adj)
+	g.adj = append(g.adj, nil)
+	g.labels = append(g.labels, label)
+	if label != "" {
+		g.byName[label] = id
+	}
+	return id, nil
+}
+
+// MustAddVertex is AddVertex for construction code with known-good labels.
+func (g *Graph) MustAddVertex(label string) int {
+	id, err := g.AddVertex(label)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddVertices adds n unlabeled vertices and returns the id of the first.
+func (g *Graph) AddVertices(n int) int {
+	first := len(g.adj)
+	for i := 0; i < n; i++ {
+		g.adj = append(g.adj, nil)
+		g.labels = append(g.labels, "")
+	}
+	return first
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Label returns the label of vertex v ("" if unlabeled).
+func (g *Graph) Label(v int) string {
+	if v < 0 || v >= len(g.labels) {
+		return ""
+	}
+	return g.labels[v]
+}
+
+// VertexByLabel returns the id of the vertex with the given label.
+func (g *Graph) VertexByLabel(label string) (int, error) {
+	id, ok := g.byName[label]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrVertexNotFound, label)
+	}
+	return id, nil
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeDistance returns the social distance of edge (u,v), or ok=false when
+// the edge does not exist.
+func (g *Graph) EdgeDistance(u, v int) (float64, bool) {
+	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return e.dist, true
+		}
+	}
+	return 0, false
+}
+
+// AddEdge connects u and v with the given social distance. Adding an edge
+// that already exists keeps the smaller distance.
+func (g *Graph) AddEdge(u, v int, dist float64) error {
+	if u < 0 || u >= len(g.adj) {
+		return fmt.Errorf("%w: id %d", ErrVertexNotFound, u)
+	}
+	if v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("%w: id %d", ErrVertexNotFound, v)
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	if dist <= 0 || math.IsNaN(dist) || math.IsInf(dist, 0) {
+		return fmt.Errorf("%w: %v", ErrNegativeDistance, dist)
+	}
+	for i := range g.adj[u] {
+		if g.adj[u][i].to == v {
+			if dist < g.adj[u][i].dist {
+				g.adj[u][i].dist = dist
+				for j := range g.adj[v] {
+					if g.adj[v][j].to == u {
+						g.adj[v][j].dist = dist
+					}
+				}
+			}
+			return nil
+		}
+	}
+	g.adj[u] = append(g.adj[u], edge{v, dist})
+	g.adj[v] = append(g.adj[v], edge{u, dist})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for construction code.
+func (g *Graph) MustAddEdge(u, v int, dist float64) {
+	if err := g.AddEdge(u, v, dist); err != nil {
+		panic(err)
+	}
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors calls fn for every neighbor of v with the edge distance.
+func (g *Graph) Neighbors(v int, fn func(u int, dist float64)) {
+	for _, e := range g.adj[v] {
+		fn(e.to, e.dist)
+	}
+}
+
+// EdgeMinDistances runs the dynamic program of Definition 1 and returns, for
+// every vertex v, the s-edge minimum distance d^s(v,q): the total distance of
+// the minimum-distance path from q to v using at most s edges (Inf when no
+// such path exists).
+//
+//	d^0(q,q) = 0, d^0(v,q) = ∞,
+//	d^i(v,q) = min( d^{i-1}(v,q), min_{u ∈ N_v} d^{i-1}(u,q) + c(u,v) ).
+//
+// This is a bounded-hop Bellman-Ford: O(s·|E|).
+func (g *Graph) EdgeMinDistances(q, s int) ([]float64, error) {
+	n := len(g.adj)
+	if q < 0 || q >= n {
+		return nil, fmt.Errorf("%w: id %d", ErrVertexNotFound, q)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("socialgraph: negative radius %d", s)
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = Inf
+	}
+	cur[q] = 0
+	for i := 0; i < s; i++ {
+		copy(next, cur)
+		changed := false
+		for v := 0; v < n; v++ {
+			if math.IsInf(cur[v], 1) {
+				continue
+			}
+			base := cur[v]
+			for _, e := range g.adj[v] {
+				if d := base + e.dist; d < next[e.to] {
+					next[e.to] = d
+					changed = true
+				}
+			}
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// RadiusGraph is the feasible graph G_F of Section 3.2.1: the subgraph
+// induced by the vertices with d^s(v,q) < ∞, re-indexed densely with the
+// initiator at index 0. It is the immutable, query-time representation used
+// by every algorithm in this repository.
+type RadiusGraph struct {
+	// Orig maps feasible-graph index -> original graph id.
+	Orig []int
+	// Dist[i] is the s-edge minimum distance from vertex i to the initiator
+	// (Dist[0] == 0).
+	Dist []float64
+	// Nbr[i] is the neighbor set of vertex i within the feasible graph.
+	Nbr []*bitset.Set
+	// Adj[i] lists the neighbors of vertex i (same content as Nbr[i]); the
+	// search engine uses it for O(degree) incremental degree updates.
+	Adj [][]int
+	// Labels carries the original vertex labels for reporting.
+	Labels []string
+}
+
+// ExtractRadiusGraph builds the feasible graph for initiator q and radius s.
+// The initiator is always vertex 0 of the result. Vertices are ordered by
+// ascending social distance (ties by original id), which is the access order
+// SGSelect wants.
+func (g *Graph) ExtractRadiusGraph(q, s int) (*RadiusGraph, error) {
+	dist, err := g.EdgeMinDistances(q, s)
+	if err != nil {
+		return nil, err
+	}
+	type vd struct {
+		id int
+		d  float64
+	}
+	var keep []vd
+	for v, d := range dist {
+		if v != q && !math.IsInf(d, 1) {
+			keep = append(keep, vd{v, d})
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].d != keep[j].d {
+			return keep[i].d < keep[j].d
+		}
+		return keep[i].id < keep[j].id
+	})
+
+	n := len(keep) + 1
+	rg := &RadiusGraph{
+		Orig:   make([]int, n),
+		Dist:   make([]float64, n),
+		Nbr:    make([]*bitset.Set, n),
+		Adj:    make([][]int, n),
+		Labels: make([]string, n),
+	}
+	index := make(map[int]int, n)
+	rg.Orig[0], rg.Dist[0] = q, 0
+	rg.Labels[0] = g.Label(q)
+	index[q] = 0
+	for i, kv := range keep {
+		rg.Orig[i+1] = kv.id
+		rg.Dist[i+1] = kv.d
+		rg.Labels[i+1] = g.Label(kv.id)
+		index[kv.id] = i + 1
+	}
+	for i := 0; i < n; i++ {
+		rg.Nbr[i] = bitset.New(n)
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range g.adj[rg.Orig[i]] {
+			if j, ok := index[e.to]; ok {
+				rg.Nbr[i].Add(j)
+				rg.Adj[i] = append(rg.Adj[i], j)
+			}
+		}
+	}
+	return rg, nil
+}
+
+// N returns the number of vertices in the feasible graph (initiator
+// included).
+func (rg *RadiusGraph) N() int { return len(rg.Orig) }
+
+// NonNeighborsWithin returns |within − {v} − N_v|: the number of vertices of
+// the given set that v is unacquainted with (v itself excluded). This is the
+// inner term of both Definition 2 (interior unfamiliarity) and the
+// acquaintance constraint.
+func (rg *RadiusGraph) NonNeighborsWithin(v int, within *bitset.Set) int {
+	c := within.AndNotCount(rg.Nbr[v])
+	if within.Contains(v) {
+		c--
+	}
+	return c
+}
+
+// GroupFeasible reports whether the given member set satisfies the
+// acquaintance constraint with parameter k: every member has at most k
+// non-neighbors among the other members.
+func (rg *RadiusGraph) GroupFeasible(members *bitset.Set, k int) bool {
+	feasible := true
+	members.ForEach(func(v int) bool {
+		if rg.NonNeighborsWithin(v, members) > k {
+			feasible = false
+			return false
+		}
+		return true
+	})
+	return feasible
+}
+
+// TotalDistance sums the social distance of every member to the initiator.
+func (rg *RadiusGraph) TotalDistance(members *bitset.Set) float64 {
+	total := 0.0
+	members.ForEach(func(v int) bool {
+		total += rg.Dist[v]
+		return true
+	})
+	return total
+}

@@ -1,0 +1,111 @@
+package stgq
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+)
+
+// SharePolicy controls who may read a person's availability when answering
+// temporal queries. The paper's footnote 1 sketches exactly this: "any
+// friend can initiate an STGQ, and the query processing system can look up
+// the available time of the user, just like the friend making a call to ask
+// the available time. Different privacy policies ... can be set for
+// different friends ... or even not answering."
+//
+// A person whose schedule is invisible to the initiator behaves as if they
+// never answered the phone: they cannot be scheduled, so PlanActivity,
+// PlanManually, and PlanWithSmallestK treat them as fully busy. FindGroup
+// (SGQ) involves no schedules and is unaffected.
+type SharePolicy int
+
+const (
+	// ShareAll (default): anyone on the social network may read the
+	// schedule.
+	ShareAll SharePolicy = iota
+	// ShareFriends: only direct friends (1 edge away) may read it.
+	ShareFriends
+	// ShareNone: nobody may read it; the person can never be auto-invited
+	// to a timed activity by someone else.
+	ShareNone
+)
+
+func (p SharePolicy) String() string {
+	switch p {
+	case ShareAll:
+		return "all"
+	case ShareFriends:
+		return "friends"
+	case ShareNone:
+		return "none"
+	}
+	return fmt.Sprintf("SharePolicy(%d)", int(p))
+}
+
+// SetSchedulePolicy sets who may read person p's availability. The default
+// for every person is ShareAll.
+func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
+		return fmt.Errorf("%w: person %d", ErrPersonNotFound, p)
+	}
+	if policy < ShareAll || policy > ShareNone {
+		return fmt.Errorf("%w: unknown policy %d", ErrBadQuery, policy)
+	}
+	if pl.policies == nil {
+		pl.policies = make(map[PersonID]SharePolicy)
+	}
+	if policy == ShareAll {
+		delete(pl.policies, p)
+	} else {
+		pl.policies[p] = policy
+	}
+	return nil
+}
+
+// SchedulePolicy returns person p's current policy.
+func (pl *Planner) SchedulePolicy(p PersonID) SharePolicy {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.policies[p]
+}
+
+// visibleCalendar returns the calendar as the initiator is allowed to see
+// it: rows hidden by privacy policies are blank (always busy). When no
+// policies are set the shared calendar is returned directly.
+func (pl *Planner) visibleCalendar(initiator PersonID) *schedule.Calendar {
+	base := pl.calendar()
+	pl.mu.Lock()
+	policies := pl.policies
+	pl.mu.Unlock()
+	if len(policies) == 0 {
+		return base
+	}
+	filtered := schedule.NewCalendar(base.Users(), base.Horizon())
+	for u := 0; u < base.Users(); u++ {
+		if !pl.scheduleVisible(policies, initiator, PersonID(u)) {
+			continue
+		}
+		row := base.Row(u)
+		for s := row.NextSet(0); s != -1; s = row.NextSet(s + 1) {
+			filtered.SetAvailable(u, s)
+		}
+	}
+	return filtered
+}
+
+// scheduleVisible decides whether viewer may read owner's schedule.
+func (pl *Planner) scheduleVisible(policies map[PersonID]SharePolicy, viewer, owner PersonID) bool {
+	if viewer == owner {
+		return true
+	}
+	switch policies[owner] {
+	case ShareNone:
+		return false
+	case ShareFriends:
+		return pl.g.HasEdge(int(viewer), int(owner))
+	default:
+		return true
+	}
+}

@@ -1,0 +1,194 @@
+package stgq_test
+
+import (
+	"errors"
+	"testing"
+
+	stgq "repro"
+)
+
+// privacyWorld: q with three friends a (closest), b, c; everyone free all
+// day; d is a friend-of-friend through c.
+func privacyWorld(t *testing.T) (*stgq.Planner, map[string]stgq.PersonID) {
+	t.Helper()
+	pl := stgq.NewPlanner(10)
+	ids := map[string]stgq.PersonID{}
+	for _, n := range []string{"q", "a", "b", "c", "d"} {
+		ids[n] = pl.AddPerson(n)
+	}
+	conn := func(x, y string, d float64) {
+		if err := pl.Connect(ids[x], ids[y], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn("q", "a", 1)
+	conn("q", "b", 2)
+	conn("q", "c", 3)
+	conn("a", "b", 1)
+	conn("a", "c", 1)
+	conn("b", "c", 1)
+	conn("c", "d", 1)
+	conn("a", "d", 9)
+	for _, id := range ids {
+		if err := pl.SetAvailable(id, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pl, ids
+}
+
+func TestShareNoneExcludesFromTimedPlans(t *testing.T) {
+	pl, ids := privacyWorld(t)
+	q := stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["q"], P: 3, S: 1, K: 2},
+		M:       2,
+	}
+	before, err := pl.PlanActivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.TotalDistance != 3 { // a(1) + b(2)
+		t.Fatalf("baseline distance = %v, want 3", before.TotalDistance)
+	}
+
+	// a hides their schedule entirely: the planner must fall back to b+c.
+	if err := pl.SetSchedulePolicy(ids["a"], stgq.ShareNone); err != nil {
+		t.Fatal(err)
+	}
+	after, err := pl.PlanActivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalDistance != 5 { // b(2) + c(3)
+		t.Errorf("with a hidden, distance = %v, want 5", after.TotalDistance)
+	}
+	for _, m := range after.Members {
+		if m.ID == ids["a"] {
+			t.Error("hidden person was scheduled")
+		}
+	}
+
+	// SGQ is schedule-free and must be unaffected.
+	grp, err := pl.FindGroup(q.SGQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.TotalDistance != 3 {
+		t.Errorf("SGQ distance = %v, want 3 (privacy must not affect SGQ)", grp.TotalDistance)
+	}
+}
+
+func TestShareFriendsVisibility(t *testing.T) {
+	pl, ids := privacyWorld(t)
+	// d shares with friends only; q is two hops away via c.
+	if err := pl.SetSchedulePolicy(ids["d"], stgq.ShareFriends); err != nil {
+		t.Fatal(err)
+	}
+	// q planning with s=2 cannot see d.
+	q := stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["q"], P: 5, S: 2, K: 4},
+		M:       2,
+	}
+	if _, err := pl.PlanActivity(q); !errors.Is(err, stgq.ErrNoFeasibleGroup) {
+		t.Errorf("q needs all 5 incl. hidden d: err = %v, want ErrNoFeasibleGroup", err)
+	}
+	// c is d's friend and can see them: a plan requiring every one of c's
+	// friends (d included) succeeds.
+	qc := stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["c"], P: 5, S: 1, K: 4},
+		M:       2,
+	}
+	plan, err := pl.PlanActivity(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range plan.Members {
+		if m.ID == ids["d"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("c (a direct friend) should be able to schedule d")
+	}
+}
+
+func TestOwnScheduleAlwaysVisible(t *testing.T) {
+	pl, ids := privacyWorld(t)
+	if err := pl.SetSchedulePolicy(ids["q"], stgq.ShareNone); err != nil {
+		t.Fatal(err)
+	}
+	// q can still plan their own activities.
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["q"], P: 2, S: 1, K: 1},
+		M:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalDistance != 1 {
+		t.Errorf("distance = %v, want 1", plan.TotalDistance)
+	}
+	// But a cannot schedule q.
+	planA, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["a"], P: 4, S: 1, K: 3},
+		M:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range planA.Members {
+		if m.ID == ids["q"] {
+			t.Error("a scheduled q despite ShareNone")
+		}
+	}
+}
+
+func TestPolicyValidationAndReset(t *testing.T) {
+	pl, ids := privacyWorld(t)
+	if err := pl.SetSchedulePolicy(stgq.PersonID(99), stgq.ShareNone); !errors.Is(err, stgq.ErrPersonNotFound) {
+		t.Errorf("unknown person: %v", err)
+	}
+	if err := pl.SetSchedulePolicy(ids["a"], stgq.SharePolicy(42)); !errors.Is(err, stgq.ErrBadQuery) {
+		t.Errorf("unknown policy: %v", err)
+	}
+	if err := pl.SetSchedulePolicy(ids["a"], stgq.ShareNone); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SchedulePolicy(ids["a"]) != stgq.ShareNone {
+		t.Error("policy not recorded")
+	}
+	// Resetting to ShareAll restores the original plan.
+	if err := pl.SetSchedulePolicy(ids["a"], stgq.ShareAll); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["q"], P: 3, S: 1, K: 2},
+		M:       2,
+	})
+	if err != nil || plan.TotalDistance != 3 {
+		t.Errorf("after reset: %v, %v", plan, err)
+	}
+	// PlanManually must honor privacy too.
+	if err := pl.SetSchedulePolicy(ids["a"], stgq.ShareNone); err != nil {
+		t.Fatal(err)
+	}
+	manual, err := pl.PlanManually(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["q"], P: 3, S: 1},
+		M:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range manual.Members {
+		if m.ID == ids["a"] {
+			t.Error("manual coordination scheduled a hidden person")
+		}
+	}
+	if pl.SchedulePolicy(ids["b"]).String() != "all" {
+		t.Error("default policy should be ShareAll")
+	}
+	if stgq.ShareFriends.String() != "friends" || stgq.ShareNone.String() != "none" {
+		t.Error("SharePolicy strings wrong")
+	}
+}

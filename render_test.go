@@ -1,0 +1,81 @@
+package stgq_test
+
+import (
+	"strings"
+	"testing"
+
+	stgq "repro"
+)
+
+func TestAvailabilityGrid(t *testing.T) {
+	pl := stgq.NewPlanner(48)
+	a := pl.AddPerson("ana")
+	b := pl.AddPerson("ben")
+	if err := pl.SetAvailable(a, 36, 44); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SetAvailable(b, 38, 42); err != nil {
+		t.Fatal(err)
+	}
+	grid := pl.AvailabilityGrid([]stgq.PersonID{a, b}, 36, 44)
+	if grid == "" {
+		t.Fatal("empty grid")
+	}
+	lines := strings.Split(strings.TrimRight(grid, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 people
+		t.Fatalf("grid has %d lines:\n%s", len(lines), grid)
+	}
+	if !strings.Contains(lines[0], "18:00") {
+		t.Errorf("header missing hour mark: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ana") || !strings.HasPrefix(lines[2], "ben") {
+		t.Errorf("rows mislabeled:\n%s", grid)
+	}
+	// ana free across the whole range, ben busy at the edges.
+	if strings.Count(lines[1], "█") != 8 {
+		t.Errorf("ana should have 8 free slots: %q", lines[1])
+	}
+	if strings.Count(lines[2], "█") != 4 || strings.Count(lines[2], "·") != 4 {
+		t.Errorf("ben should have 4 free + 4 busy: %q", lines[2])
+	}
+}
+
+func TestAvailabilityGridEdges(t *testing.T) {
+	pl := stgq.NewPlanner(10)
+	a := pl.AddPerson("a")
+	if pl.AvailabilityGrid(nil, 0, 5) != "" {
+		t.Error("no people should render empty")
+	}
+	if pl.AvailabilityGrid([]stgq.PersonID{a}, 5, 5) != "" {
+		t.Error("empty range should render empty")
+	}
+	// Out-of-range bounds clamp.
+	grid := pl.AvailabilityGrid([]stgq.PersonID{a, stgq.PersonID(99)}, -3, 99)
+	lines := strings.Split(strings.TrimRight(grid, "\n"), "\n")
+	if len(lines) != 2 { // header + the one valid person
+		t.Errorf("clamped grid lines = %d:\n%s", len(lines), grid)
+	}
+}
+
+func TestGridForPlan(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	plan, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1},
+		M:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := pl.GridForPlan(plan, 1)
+	if grid == "" {
+		t.Fatal("empty plan grid")
+	}
+	for _, m := range plan.Members {
+		if !strings.Contains(grid, m.Name) {
+			t.Errorf("grid missing member %s:\n%s", m.Name, grid)
+		}
+	}
+	if pl.GridForPlan(nil, 1) != "" {
+		t.Error("nil plan should render empty")
+	}
+}

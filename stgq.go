@@ -1,0 +1,315 @@
+// Package stgq is a Go implementation of the social-temporal group queries
+// of Yang, Chen, Lee and Chen, "On Social-Temporal Group Query with
+// Acquaintance Constraint" (PVLDB 4(6), 2011).
+//
+// Given a weighted social network (edge weight = social distance, smaller =
+// closer) and the members' availability calendars, the package answers:
+//
+//   - SGQ(p, s, k) — find the p-person group containing the initiator with
+//     the minimum total social distance, where every candidate lies within s
+//     edges of the initiator and every attendee may be unacquainted with at
+//     most k other attendees (FindGroup);
+//   - STGQ(p, s, k, m) — additionally find m consecutive time slots where
+//     the whole group is available (PlanActivity).
+//
+// Both problems are NP-hard; the default algorithms (SGSelect and
+// STGSelect) are exact branch-and-bound searches with the paper's pruning
+// strategies and handle realistic ego-network sizes interactively.
+// Alternative exact engines (exhaustive baseline, integer programming) are
+// selectable for cross-checking and benchmarking.
+//
+// # Quick start
+//
+//	pl := stgq.NewPlanner(48) // one day of half-hour slots
+//	alice := pl.AddPerson("alice")
+//	bob := pl.AddPerson("bob")
+//	carol := pl.AddPerson("carol")
+//	pl.Connect(alice, bob, 5)
+//	pl.Connect(alice, carol, 9)
+//	pl.Connect(bob, carol, 3)
+//	for _, p := range []stgq.PersonID{alice, bob, carol} {
+//		pl.SetAvailable(p, 36, 44) // evening
+//	}
+//	plan, err := pl.PlanActivity(stgq.STGQuery{
+//		SGQuery: stgq.SGQuery{Initiator: alice, P: 3, S: 1, K: 0},
+//		M:       4, // two hours
+//	})
+//
+// See the examples directory for complete programs.
+package stgq
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/coordinate"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ipmodel"
+	"repro/internal/schedule"
+	"repro/internal/socialgraph"
+)
+
+// PersonID identifies a person registered with a Planner.
+type PersonID int
+
+// Planner is the activity-planning service: a social graph plus the
+// members' availability calendars. It is the entry point of the public API.
+//
+// A Planner is safe for concurrent queries; mutation (AddPerson, Connect,
+// SetAvailable, SetBusy) must not race with queries.
+type Planner struct {
+	g       *socialgraph.Graph
+	horizon int
+
+	mu       sync.Mutex
+	cal      *schedule.Calendar // lazily built
+	calDirty bool
+	avail    []availRange
+	policies map[PersonID]SharePolicy
+}
+
+type availRange struct {
+	person   PersonID
+	from, to int
+	free     bool
+}
+
+// NewPlanner creates a Planner with the given schedule horizon in time
+// slots. The paper's convention is 48 half-hour slots per day
+// (stgq.SlotsPerDay); everyone starts fully busy.
+func NewPlanner(horizonSlots int) *Planner {
+	if horizonSlots < 0 {
+		horizonSlots = 0
+	}
+	return &Planner{g: socialgraph.New(), horizon: horizonSlots, calDirty: true}
+}
+
+// SlotsPerDay is the paper's calendar granularity (48 half-hour slots).
+const SlotsPerDay = schedule.SlotsPerDay
+
+// Horizon returns the schedule horizon in slots.
+func (pl *Planner) Horizon() int { return pl.horizon }
+
+// NumPeople returns the number of registered people.
+func (pl *Planner) NumPeople() int { return pl.g.NumVertices() }
+
+// NumFriendships returns the number of social edges.
+func (pl *Planner) NumFriendships() int { return pl.g.NumEdges() }
+
+// AddPerson registers a person and returns their id. Names must be unique
+// when non-empty.
+func (pl *Planner) AddPerson(name string) PersonID {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	id, err := pl.g.AddVertex(name)
+	if err != nil {
+		// Disambiguate silently; the original name remains reachable.
+		id, _ = pl.g.AddVertex("")
+	}
+	pl.calDirty = true
+	return PersonID(id)
+}
+
+// PersonByName looks up a person by name.
+func (pl *Planner) PersonByName(name string) (PersonID, error) {
+	id, err := pl.g.VertexByLabel(name)
+	return PersonID(id), err
+}
+
+// Name returns the display name of a person ("" when unnamed).
+func (pl *Planner) Name(p PersonID) string { return pl.g.Label(int(p)) }
+
+// Connect records that two people know each other with the given social
+// distance (> 0; smaller = closer). Reconnecting keeps the smaller
+// distance.
+func (pl *Planner) Connect(a, b PersonID, distance float64) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.g.AddEdge(int(a), int(b), distance)
+}
+
+// SetAvailable marks person p free over slot range [from, to).
+func (pl *Planner) SetAvailable(p PersonID, from, to int) error {
+	return pl.setRange(p, from, to, true)
+}
+
+// SetBusy marks person p busy over slot range [from, to).
+func (pl *Planner) SetBusy(p PersonID, from, to int) error {
+	return pl.setRange(p, from, to, false)
+}
+
+func (pl *Planner) setRange(p PersonID, from, to int, free bool) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
+		return fmt.Errorf("%w: person %d", ErrPersonNotFound, p)
+	}
+	if from < 0 || to > pl.horizon || from > to {
+		return fmt.Errorf("%w: slot range [%d,%d) outside horizon %d", ErrBadQuery, from, to, pl.horizon)
+	}
+	pl.avail = append(pl.avail, availRange{p, from, to, free})
+	pl.calDirty = true
+	return nil
+}
+
+// calendar materializes the availability calendar.
+func (pl *Planner) calendar() *schedule.Calendar {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.calDirty && pl.cal != nil {
+		return pl.cal
+	}
+	cal := schedule.NewCalendar(pl.g.NumVertices(), pl.horizon)
+	for _, a := range pl.avail {
+		cal.SetRange(int(a.person), a.from, a.to, a.free)
+	}
+	pl.cal = cal
+	pl.calDirty = false
+	return cal
+}
+
+// FromDataset wraps a generated dataset (see cmd/stgqgen and
+// internal/dataset) in a Planner.
+func FromDataset(d *dataset.Dataset) *Planner {
+	pl := &Planner{
+		g:        d.Graph,
+		horizon:  d.Cal.Horizon(),
+		cal:      d.Cal,
+		calDirty: false,
+	}
+	return pl
+}
+
+// radius extracts the feasible graph for a query.
+func (pl *Planner) radius(initiator PersonID, s int) (*socialgraph.RadiusGraph, error) {
+	if int(initiator) < 0 || int(initiator) >= pl.g.NumVertices() {
+		return nil, fmt.Errorf("%w: person %d", ErrPersonNotFound, initiator)
+	}
+	if s < 1 {
+		return nil, fmt.Errorf("%w: social radius s=%d < 1", ErrBadQuery, s)
+	}
+	return pl.g.ExtractRadiusGraph(int(initiator), s)
+}
+
+// FindGroup answers a social group query.
+func (pl *Planner) FindGroup(q SGQuery) (*GroupResult, error) {
+	rg, err := pl.radius(q.Initiator, q.S)
+	if err != nil {
+		return nil, err
+	}
+	opts := q.options()
+	var (
+		grp   *core.Group
+		stats core.Stats
+	)
+	switch q.Algorithm {
+	case AlgDefault:
+		grp, stats, err = core.SGSelect(rg, q.P, q.K, nil, opts)
+	case AlgBaseline:
+		grp, err = baseline.SGQ(rg, q.P, q.K, nil)
+	case AlgIP:
+		grp, err = ipmodel.SGQReduced(rg, q.P, q.K, ipmodel.SolveOptions{})
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadQuery, q.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pl.groupResult(rg, grp, stats), nil
+}
+
+// PlanActivity answers a social-temporal group query.
+func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
+	rg, err := pl.radius(q.Initiator, q.S)
+	if err != nil {
+		return nil, err
+	}
+	cal := pl.visibleCalendar(q.Initiator)
+	calUser := dataset.CalUsers(rg)
+	opts := q.options()
+	var (
+		ans   *core.STGroup
+		stats core.Stats
+	)
+	switch q.Algorithm {
+	case AlgDefault:
+		if q.Parallel > 1 {
+			ans, stats, err = core.STGSelectParallel(rg, cal, calUser, q.P, q.K, q.M, opts, q.Parallel)
+		} else {
+			ans, stats, err = core.STGSelect(rg, cal, calUser, q.P, q.K, q.M, opts)
+		}
+	case AlgBaseline:
+		ans, err = baseline.STGQ(rg, cal, calUser, q.P, q.K, q.M, opts)
+	case AlgIP:
+		ans, err = ipmodel.STGQReduced(rg, cal, calUser, q.P, q.K, q.M, ipmodel.SolveOptions{})
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadQuery, q.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &PlanResult{
+		GroupResult: *pl.groupResult(rg, &ans.Group, stats),
+		Window:      TimeWindow{Start: ans.Interval.Start, End: ans.Interval.End + 1},
+		PivotSlot:   ans.Pivot,
+	}, nil
+}
+
+// PlanManually simulates the phone-coordination process the paper compares
+// against (PCArrange, Section 5.1). The result reports the observed
+// acquaintance bound k_h of the manually assembled group.
+func (pl *Planner) PlanManually(q STGQuery) (*ManualPlan, error) {
+	rg, err := pl.radius(q.Initiator, q.S)
+	if err != nil {
+		return nil, err
+	}
+	cal := pl.visibleCalendar(q.Initiator)
+	res, err := coordinate.PCArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]Member, len(res.Members))
+	for i, v := range res.Members {
+		members[i] = Member{ID: PersonID(rg.Orig[v]), Name: rg.Labels[v], Distance: rg.Dist[v]}
+	}
+	return &ManualPlan{
+		Members:       members,
+		TotalDistance: res.TotalDistance,
+		Window:        TimeWindow{Start: res.Period.Start, End: res.Period.End + 1},
+		ObservedK:     res.ObservedK,
+	}, nil
+}
+
+// PlanWithSmallestK runs STGArrange: it increases k from 0 until the exact
+// planner matches or beats the target total distance (typically the manual
+// plan's), returning that k and the plan.
+func (pl *Planner) PlanWithSmallestK(q STGQuery, targetDistance float64) (int, *PlanResult, error) {
+	rg, err := pl.radius(q.Initiator, q.S)
+	if err != nil {
+		return 0, nil, err
+	}
+	cal := pl.visibleCalendar(q.Initiator)
+	res, err := coordinate.STGArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M, targetDistance, q.P-1, q.options())
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.K, &PlanResult{
+		GroupResult: *pl.groupResult(rg, &res.Answer.Group, core.Stats{}),
+		Window:      TimeWindow{Start: res.Answer.Interval.Start, End: res.Answer.Interval.End + 1},
+		PivotSlot:   res.Answer.Pivot,
+	}, nil
+}
+
+func (pl *Planner) groupResult(rg *socialgraph.RadiusGraph, grp *core.Group, stats core.Stats) *GroupResult {
+	members := make([]Member, len(grp.Members))
+	for i, v := range grp.Members {
+		members[i] = Member{ID: PersonID(rg.Orig[v]), Name: rg.Labels[v], Distance: rg.Dist[v]}
+	}
+	return &GroupResult{
+		Members:       members,
+		TotalDistance: grp.TotalDistance,
+		Stats:         stats,
+	}
+}

@@ -1,0 +1,248 @@
+package stgq_test
+
+import (
+	"errors"
+	"testing"
+
+	stgq "repro"
+	"repro/internal/dataset"
+)
+
+// examplePlanner builds the Figure 3 instance through the public API.
+func examplePlanner(t testing.TB) (*stgq.Planner, map[string]stgq.PersonID) {
+	t.Helper()
+	pl := stgq.NewPlanner(7)
+	ids := map[string]stgq.PersonID{}
+	for _, n := range []string{"v2", "v3", "v4", "v6", "v7", "v8"} {
+		ids[n] = pl.AddPerson(n)
+	}
+	conn := func(a, b string, d float64) {
+		if err := pl.Connect(ids[a], ids[b], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn("v7", "v2", 17)
+	conn("v7", "v3", 18)
+	conn("v7", "v6", 23)
+	conn("v7", "v8", 25)
+	conn("v7", "v4", 27)
+	conn("v2", "v4", 14)
+	conn("v2", "v6", 19)
+	conn("v3", "v4", 20)
+	conn("v4", "v6", 29)
+	avail := map[string][][2]int{
+		"v2": {{0, 7}},
+		"v3": {{1, 3}, {4, 6}},
+		"v4": {{0, 5}, {6, 7}},
+		"v6": {{1, 7}},
+		"v7": {{0, 6}},
+		"v8": {{0, 1}, {2, 3}, {4, 6}},
+	}
+	for n, ranges := range avail {
+		for _, r := range ranges {
+			if err := pl.SetAvailable(ids[n], r[0], r[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return pl, ids
+}
+
+func TestFindGroupAllEngines(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	for _, alg := range []stgq.Algorithm{stgq.AlgDefault, stgq.AlgBaseline, stgq.AlgIP} {
+		res, err := pl.FindGroup(stgq.SGQuery{
+			Initiator: ids["v7"], P: 4, S: 1, K: 1, Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.TotalDistance != 62 {
+			t.Errorf("%v: distance = %v, want 62", alg, res.TotalDistance)
+		}
+		if len(res.Members) != 4 {
+			t.Errorf("%v: %d members, want 4", alg, len(res.Members))
+		}
+	}
+}
+
+func TestPlanActivityAllEngines(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	for _, alg := range []stgq.Algorithm{stgq.AlgDefault, stgq.AlgBaseline, stgq.AlgIP} {
+		res, err := pl.PlanActivity(stgq.STGQuery{
+			SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1, Algorithm: alg},
+			M:       3,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.TotalDistance != 67 {
+			t.Errorf("%v: distance = %v, want 67", alg, res.TotalDistance)
+		}
+		if res.Window.Start != 1 || res.Window.End != 5 {
+			t.Errorf("%v: window = %+v, want [1,5)", alg, res.Window)
+		}
+		names := map[string]bool{}
+		for _, m := range res.Members {
+			names[m.Name] = true
+		}
+		for _, want := range []string{"v2", "v4", "v6", "v7"} {
+			if !names[want] {
+				t.Errorf("%v: members missing %s", alg, want)
+			}
+		}
+	}
+}
+
+func TestPlanActivityParallel(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	seq, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1},
+		M:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pl.PlanActivity(stgq.STGQuery{
+		SGQuery:  stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1},
+		M:        3,
+		Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalDistance != seq.TotalDistance {
+		t.Errorf("parallel %v != sequential %v", par.TotalDistance, seq.TotalDistance)
+	}
+}
+
+func TestManualVsAutomaticPlanning(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	manual, err := pl.PlanManually(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1},
+		M:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Window.Len() != 3 {
+		t.Errorf("manual window %+v, want length 3", manual.Window)
+	}
+	k, plan, err := pl.PlanWithSmallestK(stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1},
+		M:       3,
+	}, manual.TotalDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalDistance > manual.TotalDistance {
+		t.Errorf("automatic plan %v worse than manual %v", plan.TotalDistance, manual.TotalDistance)
+	}
+	if k > manual.ObservedK {
+		t.Errorf("smallest k %d exceeds manual k_h %d", k, manual.ObservedK)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	if _, err := pl.FindGroup(stgq.SGQuery{Initiator: 99, P: 3, S: 1, K: 1}); !errors.Is(err, stgq.ErrPersonNotFound) {
+		t.Errorf("unknown initiator: %v", err)
+	}
+	if _, err := pl.FindGroup(stgq.SGQuery{Initiator: ids["v7"], P: 3, S: 0, K: 1}); !errors.Is(err, stgq.ErrBadQuery) {
+		t.Errorf("s=0: %v", err)
+	}
+	if _, err := pl.FindGroup(stgq.SGQuery{Initiator: ids["v7"], P: 40, S: 1, K: 1}); !errors.Is(err, stgq.ErrNoFeasibleGroup) {
+		t.Errorf("oversized p: %v", err)
+	}
+	if _, err := pl.FindGroup(stgq.SGQuery{Initiator: ids["v7"], P: 3, S: 1, K: 1, Algorithm: stgq.Algorithm(9)}); !errors.Is(err, stgq.ErrBadQuery) {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+	if err := pl.SetAvailable(ids["v7"], -1, 3); !errors.Is(err, stgq.ErrBadQuery) {
+		t.Errorf("negative slot: %v", err)
+	}
+	if err := pl.SetAvailable(stgq.PersonID(99), 0, 3); !errors.Is(err, stgq.ErrPersonNotFound) {
+		t.Errorf("unknown person: %v", err)
+	}
+}
+
+func TestPersonLookupAndAccessors(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	got, err := pl.PersonByName("v7")
+	if err != nil || got != ids["v7"] {
+		t.Errorf("PersonByName: %v, %v", got, err)
+	}
+	if _, err := pl.PersonByName("nobody"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if pl.Name(ids["v2"]) != "v2" {
+		t.Error("Name lookup wrong")
+	}
+	if pl.NumPeople() != 6 || pl.NumFriendships() != 9 {
+		t.Errorf("counts: %d people, %d edges", pl.NumPeople(), pl.NumFriendships())
+	}
+	if pl.Horizon() != 7 {
+		t.Errorf("horizon = %d", pl.Horizon())
+	}
+}
+
+func TestSchedulesMutableBetweenQueries(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	q := stgq.STGQuery{
+		SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1},
+		M:       3,
+	}
+	before, err := pl.PlanActivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v6 cancels everything: the optimal group must change or vanish.
+	if err := pl.SetBusy(ids["v6"], 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	after, err := pl.PlanActivity(q)
+	if err == nil {
+		if after.TotalDistance <= before.TotalDistance {
+			t.Errorf("after v6 cancels, distance %v should exceed %v (or be infeasible)",
+				after.TotalDistance, before.TotalDistance)
+		}
+	} else if !errors.Is(err, stgq.ErrNoFeasibleGroup) {
+		t.Fatal(err)
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	d := dataset.Real194(42, 2)
+	pl := stgq.FromDataset(d)
+	if pl.NumPeople() != dataset.Real194Size {
+		t.Fatalf("people = %d", pl.NumPeople())
+	}
+	q := stgq.PersonID(d.PickInitiator(75))
+	res, err := pl.FindGroup(stgq.SGQuery{Initiator: q, P: 4, S: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 4 || res.TotalDistance <= 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	// Cross-check against the baseline engine on the same dataset.
+	base, err := pl.FindGroup(stgq.SGQuery{Initiator: q, P: 4, S: 1, K: 2, Algorithm: stgq.AlgBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalDistance != res.TotalDistance {
+		t.Errorf("engines disagree: %v vs %v", res.TotalDistance, base.TotalDistance)
+	}
+}
+
+func TestWindowFormat(t *testing.T) {
+	w := stgq.TimeWindow{Start: 36, End: 40}
+	if got := w.Format(); got != "day1 18:00 – day1 19:30" {
+		t.Errorf("Format = %q", got)
+	}
+	if (stgq.TimeWindow{}).Format() != "(empty)" {
+		t.Error("empty window format wrong")
+	}
+	if w.Len() != 4 {
+		t.Error("Len wrong")
+	}
+}
