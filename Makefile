@@ -1,0 +1,30 @@
+# Tier-1 gate: `make check` runs everything CI needs in one command.
+
+GO ?= go
+
+.PHONY: check build test vet fmt-check fmt bench race
+
+check: fmt-check vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./ ./internal/journal/ ./internal/service/
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -12,14 +12,17 @@ package stgq_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	stgq "repro"
 	"repro/internal/baseline"
 	"repro/internal/coordinate"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/ipmodel"
+	"repro/internal/journal"
 	"repro/internal/socialgraph"
 )
 
@@ -375,6 +378,60 @@ func BenchmarkAblationSTGNoPivot(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- write path: journal append throughput --------------------------------
+//
+// BenchmarkJournalAppend tracks the durable write path alongside the query
+// benchmarks: one fsync per record (the naive WAL) versus the group-commit
+// batcher coalescing concurrent writers into shared fsyncs.
+
+func journalRecord(seq uint64) journal.Record {
+	return journal.Record{Seq: seq, Mut: stgq.Mutation{
+		Op: stgq.MutSetAvailable, Person: stgq.PersonID(seq % 128), From: 12, To: 40,
+	}}
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	b.Run("unbatched-fsync-per-record", func(b *testing.B) {
+		log, err := journal.OpenLog(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := log.Append([]journal.Record{journalRecord(uint64(i + 1))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		syncs, _, _ := log.Counters()
+		b.ReportMetric(float64(syncs)/float64(b.N), "fsyncs/op")
+	})
+	b.Run("group-commit-concurrent", func(b *testing.B) {
+		log, err := journal.OpenLog(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		batcher := journal.NewBatcher(log, 0, 0) // defaults
+		defer batcher.Close()
+		var seq atomic.Uint64
+		b.SetParallelism(32) // many concurrent HTTP writers per core
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := batcher.Append(journalRecord(seq.Add(1))); err != nil {
+					b.Error(err) // Fatal is not allowed off the benchmark goroutine
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		syncs, _, _ := log.Counters()
+		b.ReportMetric(float64(syncs)/float64(b.N), "fsyncs/op")
+	})
 }
 
 // --- substrate micro-benchmarks ------------------------------------------

@@ -11,7 +11,7 @@ func buildExample() (*stgq.Planner, map[string]stgq.PersonID) {
 	pl := stgq.NewPlanner(stgq.SlotsPerDay)
 	ids := map[string]stgq.PersonID{}
 	for _, n := range []string{"ana", "ben", "chloe", "dinah"} {
-		ids[n] = pl.AddPerson(n)
+		ids[n] = pl.MustAddPerson(n)
 	}
 	pl.Connect(ids["ana"], ids["ben"], 4)     //nolint:errcheck
 	pl.Connect(ids["ana"], ids["chloe"], 6)   //nolint:errcheck

@@ -20,14 +20,14 @@ func main() {
 	// Six time slots ts1..ts6 (indices 0..5), as in Figure 2(c).
 	pl := stgq.NewPlanner(6)
 
-	jolie := pl.AddPerson("Angelina Jolie")       // v1
-	clooney := pl.AddPerson("George Clooney")     // v2
-	deniro := pl.AddPerson("Robert De Niro")      // v3
-	pitt := pl.AddPerson("Brad Pitt")             // v4
-	damon := pl.AddPerson("Matt Damon")           // v5
-	roberts := pl.AddPerson("Julia Roberts")      // v6
-	affleck := pl.AddPerson("Casey Affleck")      // v7
-	monaghan := pl.AddPerson("Michelle Monaghan") // v8
+	jolie := pl.MustAddPerson("Angelina Jolie")       // v1
+	clooney := pl.MustAddPerson("George Clooney")     // v2
+	deniro := pl.MustAddPerson("Robert De Niro")      // v3
+	pitt := pl.MustAddPerson("Brad Pitt")             // v4
+	damon := pl.MustAddPerson("Matt Damon")           // v5
+	roberts := pl.MustAddPerson("Julia Roberts")      // v6
+	affleck := pl.MustAddPerson("Casey Affleck")      // v7
+	monaghan := pl.MustAddPerson("Michelle Monaghan") // v8
 
 	// Cooperation-derived distances (Figure 2(a), reconstructed so every
 	// outcome the paper reports holds; see the repository tests).

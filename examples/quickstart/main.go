@@ -19,12 +19,12 @@ func main() {
 
 	// A study group: closeness comes from how often people work together
 	// (smaller distance = closer).
-	ana := pl.AddPerson("ana")
-	ben := pl.AddPerson("ben")
-	chloe := pl.AddPerson("chloe")
-	dinah := pl.AddPerson("dinah")
-	eli := pl.AddPerson("eli")
-	fay := pl.AddPerson("fay")
+	ana := pl.MustAddPerson("ana")
+	ben := pl.MustAddPerson("ben")
+	chloe := pl.MustAddPerson("chloe")
+	dinah := pl.MustAddPerson("dinah")
+	eli := pl.MustAddPerson("eli")
+	fay := pl.MustAddPerson("fay")
 
 	must(pl.Connect(ana, ben, 4))
 	must(pl.Connect(ana, chloe, 6))

@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batcher is the group-commit stage: records enqueued by many concurrent
+// writers are drained by a single writer goroutine and appended (with one
+// fsync) per batch. A flush is triggered when the batch reaches MaxBatch
+// records or when the oldest queued record has waited MaxWait. Every
+// caller gets an individual ack carrying the batch's append error.
+type Batcher struct {
+	app      Appender
+	maxBatch int
+	maxWait  time.Duration
+
+	in    chan batchItem
+	flush chan chan error
+	stop  chan struct{}
+	done  chan struct{}
+
+	closeMu  sync.RWMutex // excludes Enqueue deposits during Close
+	closed   bool
+	closeErr error // first commit error of the final drain; read after done
+
+	durable atomic.Uint64 // highest seq known durable
+	batches atomic.Uint64
+	records atomic.Uint64
+}
+
+type batchItem struct {
+	rec Record
+	ack chan error
+}
+
+const (
+	// DefaultMaxBatch caps a group commit when Options leave it 0.
+	DefaultMaxBatch = 512
+	// DefaultMaxWait bounds the extra latency group commit may add.
+	DefaultMaxWait = 2 * time.Millisecond
+)
+
+// NewBatcher starts the writer goroutine. maxBatch/maxWait fall back to
+// the defaults when non-positive.
+func NewBatcher(app Appender, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultMaxWait
+	}
+	b := &Batcher{
+		app:      app,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		in:       make(chan batchItem, 4*maxBatch),
+		flush:    make(chan chan error),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Enqueue hands a record to the writer goroutine and returns the ack
+// channel (buffered: the writer never blocks on it). Callers that must not
+// stall — e.g. a mutation hook holding the planner lock — enqueue first
+// and wait on the ack after releasing their locks.
+//
+// The deposit happens under a read lock that Close excludes: once Close
+// has the write lock no further records can enter the channel, so the
+// writer's final drain is complete and no ack is ever stranded.
+//
+// When the channel (4×MaxBatch records) is full the deposit blocks until
+// the writer catches up. This is deliberate backpressure: under a
+// sustained fsync backlog, mutations — and, because the hook enqueues
+// under the planner write lock, queries too — slow to journal speed
+// rather than letting unacknowledged records pile up without bound.
+func (b *Batcher) Enqueue(rec Record) <-chan error {
+	it := batchItem{rec: rec, ack: make(chan error, 1)}
+	b.closeMu.RLock()
+	if b.closed {
+		it.ack <- ErrClosed
+	} else {
+		b.in <- it // writer drains until stop closes, so this cannot wedge
+	}
+	b.closeMu.RUnlock()
+	return it.ack
+}
+
+// Append is Enqueue plus waiting for the group commit.
+func (b *Batcher) Append(rec Record) error {
+	return <-b.Enqueue(rec)
+}
+
+// Flush blocks until everything enqueued before the call has been
+// committed, and returns the first commit error it caused (callers who
+// need a durability barrier — e.g. before compaction — must not proceed on
+// error). On a closed batcher it returns nil: Close already flushed.
+func (b *Batcher) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case b.flush <- ack:
+		return <-ack
+	case <-b.stop:
+		return nil
+	}
+}
+
+// DurableSeq returns the highest sequence number known to have been
+// fsynced.
+func (b *Batcher) DurableSeq() uint64 { return b.durable.Load() }
+
+// Counters returns lifetime batch/record counts.
+func (b *Batcher) Counters() (batches, records uint64) {
+	return b.batches.Load(), b.records.Load()
+}
+
+// Close flushes pending records and stops the writer, returning the first
+// commit error of the final drain (the affected enqueuers also get it via
+// their acks). Records enqueued after Close are acked with ErrClosed.
+func (b *Batcher) Close() error {
+	b.closeMu.Lock()
+	if !b.closed {
+		// In-flight Enqueues held the read lock, so their deposits are
+		// already in the channel; the writer's final drain commits them.
+		b.closed = true
+		close(b.stop)
+	}
+	b.closeMu.Unlock()
+	<-b.done
+	return b.closeErr // written before done closes
+}
+
+func (b *Batcher) loop() {
+	defer close(b.done)
+
+	var (
+		batch  []batchItem
+		timer  *time.Timer
+		timerC <-chan time.Time
+	)
+	reset := func() {
+		batch = nil
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+		timerC = nil
+	}
+	commit := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		recs := make([]Record, len(batch))
+		for i, it := range batch {
+			recs[i] = it.rec
+		}
+		err := b.app.Append(recs)
+		if err == nil {
+			b.durable.Store(recs[len(recs)-1].Seq)
+			b.batches.Add(1)
+			b.records.Add(uint64(len(recs)))
+		}
+		for _, it := range batch {
+			it.ack <- err
+		}
+		reset()
+		return err
+	}
+	// drain moves already-queued items into the batch without blocking.
+	drain := func() {
+		for len(batch) < b.maxBatch {
+			select {
+			case it := <-b.in:
+				batch = append(batch, it)
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case it := <-b.in:
+			batch = append(batch, it)
+			drain()
+			if len(batch) >= b.maxBatch {
+				commit()
+				continue
+			}
+			if timerC == nil {
+				timer = time.NewTimer(b.maxWait)
+				timerC = timer.C
+			}
+
+		case <-timerC:
+			drain()
+			commit()
+
+		case ack := <-b.flush:
+			// Commit everything already queued, in maxBatch chunks; the
+			// barrier only succeeds when every chunk did.
+			var err error
+			for {
+				drain()
+				if len(batch) == 0 {
+					break
+				}
+				if e := commit(); e != nil && err == nil {
+					err = e
+				}
+			}
+			ack <- err
+
+		case <-b.stop:
+			// Drain whatever racing Enqueues already got into the
+			// channel, commit, and exit.
+			for {
+				drain()
+				if len(batch) == 0 {
+					return
+				}
+				if err := commit(); err != nil && b.closeErr == nil {
+					b.closeErr = err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package journal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stgq "repro"
+)
+
+func rec(seq uint64) Record {
+	return Record{Seq: seq, Mut: stgq.Mutation{Op: stgq.MutSetBusy, Person: 0, From: 0, To: 1}}
+}
+
+// TestBatcherHammer fires mutations from many goroutines and checks every
+// record is durably stored exactly once, in sequence order, and every
+// caller is acked.
+func TestBatcherHammer(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 64, time.Millisecond)
+	defer b.Close()
+
+	const (
+		writers   = 32
+		perWriter = 200
+		totalRecs = writers * perWriter
+	)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, totalRecs)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := b.Append(rec(next.Add(1))); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got := log.Records()
+	if len(got) != totalRecs {
+		t.Fatalf("stored %d records, want %d", len(got), totalRecs)
+	}
+	seen := make(map[uint64]bool, totalRecs)
+	for _, r := range got {
+		if seen[r.Seq] {
+			t.Fatalf("seq %d stored twice", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	if b.DurableSeq() == 0 {
+		t.Fatal("durable seq not advanced")
+	}
+	if batches, records := b.Counters(); batches == 0 || records != totalRecs {
+		t.Fatalf("counters: %d batches, %d records", batches, records)
+	}
+}
+
+// TestBatcherGroupsCommits checks concurrent appends share fsyncs when the
+// sink is slow — the whole point of group commit.
+func TestBatcherGroupsCommits(t *testing.T) {
+	log := &MemLog{SyncDelay: 2 * time.Millisecond}
+	b := NewBatcher(log, 256, 50*time.Millisecond)
+	defer b.Close()
+
+	const total = 400
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 20; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/20; i++ {
+				if err := b.Append(rec(next.Add(1))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := log.Appends(); got >= total/2 {
+		t.Fatalf("%d fsyncs for %d records — group commit not batching", got, total)
+	}
+}
+
+func TestBatcherPropagatesSinkErrors(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 8, time.Millisecond)
+	defer b.Close()
+
+	boom := errors.New("disk on fire")
+	log.Fail(boom)
+	if err := b.Append(rec(1)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	log.Fail(nil)
+	if err := b.Append(rec(2)); err != nil {
+		t.Fatalf("recovered append failed: %v", err)
+	}
+}
+
+func TestBatcherFlushReportsCommitError(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 1<<20, time.Hour)
+	defer b.Close()
+
+	boom := errors.New("disk gone")
+	log.Fail(boom)
+	ack := b.Enqueue(rec(1))
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush over a failing sink returned %v, want %v", err, boom)
+	}
+	if err := <-ack; !errors.Is(err, boom) {
+		t.Fatalf("caller ack = %v, want %v", err, boom)
+	}
+}
+
+func TestBatcherFlushDrainsBeyondMaxBatch(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 4, time.Hour) // tiny batches, no timer
+	defer b.Close()
+
+	const total = 19
+	acks := make([]<-chan error, total)
+	for i := range acks {
+		acks[i] = b.Enqueue(rec(uint64(i + 1)))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Records()); n != total {
+		t.Fatalf("flush committed %d of %d records", n, total)
+	}
+	for i, ack := range acks {
+		select {
+		case err := <-ack:
+			if err != nil {
+				t.Fatalf("ack %d: %v", i, err)
+			}
+		default:
+			t.Fatalf("ack %d not delivered after Flush", i)
+		}
+	}
+}
+
+func TestBatcherFlushIsABarrier(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 1<<20, time.Hour) // neither size nor timer would flush
+	defer b.Close()
+
+	acks := make([]<-chan error, 10)
+	for i := range acks {
+		acks[i] = b.Enqueue(rec(uint64(i + 1)))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ack := range acks {
+		select {
+		case err := <-ack:
+			if err != nil {
+				t.Fatalf("ack %d: %v", i, err)
+			}
+		default:
+			t.Fatalf("ack %d not delivered after Flush", i)
+		}
+	}
+	if n := len(log.Records()); n != 10 {
+		t.Fatalf("stored %d records, want 10", n)
+	}
+}
+
+func TestBatcherCloseFlushesAndRejects(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 1<<20, time.Hour)
+	ack := b.Enqueue(rec(1))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ack; err != nil {
+		t.Fatalf("pending record lost on close: %v", err)
+	}
+	if n := len(log.Records()); n != 1 {
+		t.Fatalf("stored %d records, want 1", n)
+	}
+	if err := b.Append(rec(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after close: %v", err)
+	}
+}
+
+func TestBatcherTimerFlush(t *testing.T) {
+	log := &MemLog{}
+	b := NewBatcher(log, 1<<20, time.Millisecond)
+	defer b.Close()
+	start := time.Now()
+	if err := b.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("timer flush took %v", d)
+	}
+}

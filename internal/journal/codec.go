@@ -1,0 +1,202 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	stgq "repro"
+)
+
+// On-disk frame layout (little endian):
+//
+//	u32  payload length
+//	u32  CRC-32C of the payload
+//	payload:
+//	    u8      codec version (currently 1)
+//	    u8      mutation op
+//	    uvarint sequence number
+//	    op-specific fields (uvarints; distance as 8 fixed bytes;
+//	    name as uvarint length + bytes)
+//
+// A reader that finds fewer bytes than a full header, a length beyond the
+// segment, or a CRC mismatch at the end of the final segment is looking at
+// a torn append and truncates from there.
+
+const (
+	codecVersion = 1
+	headerSize   = 8
+	// maxPayload bounds a single record so a corrupted length prefix
+	// cannot trigger a giant allocation. Names are the only variable
+	// part; 1 MiB is orders of magnitude above any legitimate record.
+	maxPayload = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes rec as a framed record appended to dst.
+func appendFrame(dst []byte, rec Record) ([]byte, error) {
+	payload := make([]byte, 0, 32+len(rec.Mut.Name))
+	payload = append(payload, codecVersion, byte(rec.Mut.Op))
+	payload = binary.AppendUvarint(payload, rec.Seq)
+	m := rec.Mut
+	switch m.Op {
+	case stgq.MutAddPerson:
+		payload = binary.AppendUvarint(payload, uint64(m.Person))
+		payload = binary.AppendUvarint(payload, uint64(len(m.Name)))
+		payload = append(payload, m.Name...)
+	case stgq.MutConnect:
+		payload = binary.AppendUvarint(payload, uint64(m.A))
+		payload = binary.AppendUvarint(payload, uint64(m.B))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(m.Distance))
+	case stgq.MutDisconnect:
+		payload = binary.AppendUvarint(payload, uint64(m.A))
+		payload = binary.AppendUvarint(payload, uint64(m.B))
+	case stgq.MutSetAvailable, stgq.MutSetBusy:
+		payload = binary.AppendUvarint(payload, uint64(m.Person))
+		payload = binary.AppendUvarint(payload, uint64(m.From))
+		payload = binary.AppendUvarint(payload, uint64(m.To))
+	default:
+		return nil, fmt.Errorf("journal: cannot encode op %v", m.Op)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("journal: record too large (%d bytes)", len(payload))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+// decodePayload parses one CRC-verified payload.
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) < 2 {
+		return Record{}, fmt.Errorf("%w: payload too short", ErrCorrupt)
+	}
+	if payload[0] != codecVersion {
+		return Record{}, fmt.Errorf("%w: unknown codec version %d", ErrCorrupt, payload[0])
+	}
+	op := stgq.MutationOp(payload[1])
+	buf := payload[2:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	seq, err := next()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{Seq: seq, Mut: stgq.Mutation{Op: op}}
+	switch op {
+	case stgq.MutAddPerson:
+		id, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		nameLen, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		if nameLen > uint64(len(buf)) {
+			return Record{}, fmt.Errorf("%w: name length %d exceeds payload", ErrCorrupt, nameLen)
+		}
+		rec.Mut.Person = stgq.PersonID(id)
+		rec.Mut.Name = string(buf[:nameLen])
+	case stgq.MutConnect:
+		a, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		b, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		if len(buf) < 8 {
+			return Record{}, fmt.Errorf("%w: truncated distance", ErrCorrupt)
+		}
+		rec.Mut.A, rec.Mut.B = stgq.PersonID(a), stgq.PersonID(b)
+		rec.Mut.Distance = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	case stgq.MutDisconnect:
+		a, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		b, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Mut.A, rec.Mut.B = stgq.PersonID(a), stgq.PersonID(b)
+	case stgq.MutSetAvailable, stgq.MutSetBusy:
+		p, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		from, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		to, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Mut.Person = stgq.PersonID(p)
+		rec.Mut.From, rec.Mut.To = int(from), int(to)
+	default:
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	return rec, nil
+}
+
+// containsValidFrame reports whether a complete, CRC-valid frame starts at
+// any byte offset of data. Recovery uses it to tell a torn tail (partial
+// final append: nothing valid after the break) from mid-segment corruption
+// (valid, possibly acknowledged frames resume after the damage — which
+// must abort recovery, not be silently truncated away). A false positive
+// needs a 1-in-2^32 CRC coincidence inside garbage.
+func containsValidFrame(data []byte) bool {
+	for off := 0; off+headerSize <= len(data); off++ {
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length > maxPayload || off+headerSize+length > len(data) {
+			continue
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+headerSize : off+headerSize+length]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			continue
+		}
+		if _, err := decodePayload(payload); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFrames decodes consecutive frames from data. It returns the decoded
+// records and the number of bytes consumed by complete, CRC-valid frames.
+// consumed < len(data) means the remainder is a torn or corrupt tail; the
+// caller decides whether that is tolerable (final segment) or fatal.
+func scanFrames(data []byte) (recs []Record, consumed int) {
+	off := 0
+	for off+headerSize <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length > maxPayload || off+headerSize+length > len(data) {
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+headerSize : off+headerSize+length]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += headerSize + length
+	}
+	return recs, off
+}

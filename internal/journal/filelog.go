@@ -1,0 +1,329 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// segPrefix/segSuffix frame the segment file names: wal-<firstseq>.log,
+// with the sequence number zero-padded so lexical order equals numeric
+// order.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix))
+}
+
+// segmentInfo describes one on-disk journal segment.
+type segmentInfo struct {
+	path     string
+	firstSeq uint64 // from the file name: the seq the segment was opened at
+	lastSeq  uint64 // highest record seq inside (0 when empty)
+	bytes    int64
+}
+
+// listSegments returns the journal segments of dir in ascending firstSeq
+// order. lastSeq/bytes are left for the caller to fill by scanning.
+func listSegments(dir string) ([]segmentInfo, error) {
+	files, err := listNumbered(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segmentInfo, len(files))
+	for i, f := range files {
+		segs[i] = segmentInfo{path: f.path, firstSeq: f.seq}
+	}
+	return segs, nil
+}
+
+// FileLog is the durable Appender: an append-only log of framed records
+// split across segment files, fsynced once per Append call. Rotation seals
+// the active segment when it outgrows maxSegmentBytes (or on snapshot);
+// Compact deletes sealed segments fully covered by a snapshot.
+type FileLog struct {
+	dir             string
+	maxSegmentBytes int64
+
+	mu         sync.Mutex
+	sealed     []segmentInfo
+	active     *os.File
+	activePath string
+	activeLast uint64 // highest seq appended to the active segment (0: none)
+	activeSize int64
+	failed     error // first append failure; poisons the log (fail-stop)
+
+	syncs   uint64
+	batches uint64
+	records uint64
+}
+
+// DefaultMaxSegmentBytes is the rotation threshold when Options leave it 0.
+const DefaultMaxSegmentBytes = 16 << 20
+
+// OpenLog opens (or creates) a bare journal log in dir for appending —
+// the durable building block Store composes with recovery and snapshots.
+// Benchmarks and standalone tools use it directly. Existing segments are
+// scanned only far enough to resume appending; use Store for recovery.
+func OpenLog(dir string, maxSegmentBytes int64) (*FileLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	nextSeq := uint64(1)
+	if len(segs) > 0 {
+		last := &segs[len(segs)-1]
+		data, err := os.ReadFile(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		recs, consumed := scanFrames(data)
+		if consumed < len(data) {
+			return nil, fmt.Errorf("%w: torn tail in %s (recover with Open)", ErrCorrupt, last.path)
+		}
+		last.bytes = int64(consumed)
+		if len(recs) > 0 {
+			last.lastSeq = recs[len(recs)-1].Seq
+		}
+	}
+	return openFileLog(dir, segs, nextSeq, maxSegmentBytes)
+}
+
+// openFileLog opens the journal in dir for appending. sealed lists the
+// already-scanned segments (from recovery); the last one, if any, is
+// reopened as the active segment, otherwise a fresh segment starting at
+// nextSeq is created.
+func openFileLog(dir string, segs []segmentInfo, nextSeq uint64, maxSegmentBytes int64) (*FileLog, error) {
+	if maxSegmentBytes <= 0 {
+		maxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	l := &FileLog{dir: dir, maxSegmentBytes: maxSegmentBytes}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reopen segment: %w", err)
+		}
+		l.sealed = append(l.sealed, segs[:len(segs)-1]...)
+		l.active = f
+		l.activePath = last.path
+		l.activeLast = last.lastSeq
+		l.activeSize = last.bytes
+		return l, nil
+	}
+	if err := l.createSegmentLocked(nextSeq); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *FileLog) createSegmentLocked(firstSeq uint64) error {
+	path := segmentPath(l.dir, firstSeq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create segment: %w", err)
+	}
+	syncDir(l.dir)
+	l.active = f
+	l.activePath = path
+	l.activeLast = 0
+	l.activeSize = 0
+	return nil
+}
+
+// Append encodes and durably writes the records: one buffered write, one
+// fsync. Called from the batcher's writer goroutine.
+//
+// Append is fail-stop: after the first write or fsync error the log is
+// poisoned and every further Append fails immediately. A failed append may
+// have left a partial frame in the segment; writing anything after it
+// would bury acknowledged records behind bytes recovery must treat as a
+// torn tail. Poisoning instead means the operator restarts the service and
+// recovery truncates the partial frame.
+func (l *FileLog) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		var err error
+		if buf, err = appendFrame(buf, rec); err != nil {
+			// An unencodable record (e.g. absurdly long name) consumed a
+			// sequence number that will now never reach disk; writing
+			// anything after it would create a permanent sequence gap
+			// that recovery rejects. Poison instead.
+			l.mu.Lock()
+			if l.failed == nil {
+				l.failed = err
+			}
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.active == nil {
+		return ErrClosed
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		l.failed = fmt.Errorf("journal: append: %w", err)
+		return l.failed
+	}
+	if err := l.active.Sync(); err != nil {
+		l.failed = fmt.Errorf("journal: fsync: %w", err)
+		return l.failed
+	}
+	l.syncs++
+	l.batches++
+	l.records += uint64(len(recs))
+	l.activeSize += int64(len(buf))
+	l.activeLast = recs[len(recs)-1].Seq
+	if l.activeSize >= l.maxSegmentBytes {
+		// The batch is already durable; a rotation failure poisons the
+		// log for future appends (inside rotateLocked) but must not fail
+		// records that are safely on disk.
+		_ = l.rotateLocked()
+	}
+	return nil
+}
+
+// Rotate seals the active segment and opens a fresh one. A still-empty
+// active segment is left in place.
+func (l *FileLog) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return ErrClosed
+	}
+	if l.activeSize == 0 {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// rotateLocked is fail-stop like Append: a failure leaves the log
+// poisoned with no active segment rather than half-rotated.
+func (l *FileLog) rotateLocked() error {
+	if err := l.active.Close(); err != nil {
+		l.failed = fmt.Errorf("journal: close segment: %w", err)
+		l.active = nil
+		return l.failed
+	}
+	sealed := segmentInfo{
+		path: l.activePath, firstSeq: segFirstSeq(l.activePath), lastSeq: l.activeLast, bytes: l.activeSize,
+	}
+	if err := l.createSegmentLocked(l.activeLast + 1); err != nil {
+		l.failed = err
+		l.active = nil
+		l.sealed = append(l.sealed, sealed)
+		return err
+	}
+	l.sealed = append(l.sealed, sealed)
+	return nil
+}
+
+func segFirstSeq(path string) uint64 {
+	name := filepath.Base(path)
+	seq, _ := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	return seq
+}
+
+// Compact deletes every sealed segment whose records are all covered by a
+// snapshot at sequence number upTo. The active segment is never touched.
+// A segment whose unlink fails stays tracked and is retried by the next
+// compaction. Returns the number of segments removed.
+func (l *FileLog) Compact(upTo uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var kept []segmentInfo
+	var firstErr error
+	removed := 0
+	for _, seg := range l.sealed {
+		if seg.lastSeq > upTo {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("journal: compact: %w", err)
+			}
+			kept = append(kept, seg)
+			continue
+		}
+		removed++
+	}
+	l.sealed = kept
+	if removed > 0 {
+		syncDir(l.dir)
+	}
+	return removed, firstErr
+}
+
+// Segments returns the number of live segment files (active included) and
+// their total size in bytes.
+func (l *FileLog) Segments() (n int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n = len(l.sealed)
+	for _, seg := range l.sealed {
+		bytes += seg.bytes
+	}
+	if l.active != nil {
+		n++
+		bytes += l.activeSize
+	}
+	return n, bytes
+}
+
+// Failed returns the error that poisoned the log (nil while healthy).
+// Once poisoned, the log accepts no further appends; the process must be
+// restarted so recovery can truncate any partial frame.
+func (l *FileLog) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Counters returns lifetime append statistics: fsyncs issued, batches and
+// records appended.
+func (l *FileLog) Counters() (syncs, batches, records uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs, l.batches, l.records
+}
+
+// Close syncs and closes the active segment.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames/creates/removes inside it are
+// durable. Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,69 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// atomicWriteFile durably creates finalPath inside dir: the content is
+// written to a temp file, fsynced, renamed into place, and the directory
+// entry synced. A crash at any point leaves either the old file or the new
+// one, never a partial write. Both snapshots and the meta file go through
+// this one implementation so the crash-safety dance exists exactly once.
+func atomicWriteFile(dir, finalPath string, write func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(dir, filepath.Base(finalPath)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: write %s: %w", filepath.Base(finalPath), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: fsync %s: %w", filepath.Base(finalPath), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: close %s: %w", filepath.Base(finalPath), err)
+	}
+	if err := os.Rename(tmpName, finalPath); err != nil {
+		return fmt.Errorf("journal: rename %s: %w", filepath.Base(finalPath), err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// numberedFile is a directory entry of the form <prefix><seq><suffix>.
+type numberedFile struct {
+	path string
+	seq  uint64
+}
+
+// listNumbered returns dir's <prefix><decimal><suffix> files in ascending
+// sequence order, ignoring everything else (foreign files, temp files).
+func listNumbered(dir, prefix, suffix string) ([]numberedFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []numberedFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, numberedFile{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}

@@ -1,0 +1,71 @@
+// Package journal is the durable event-journal persistence subsystem of
+// the planner service. It records every Planner mutation (AddPerson,
+// Connect, Disconnect, SetAvailable, SetBusy) as a typed, versioned record
+// in a write-ahead journal, folds the journal into periodic snapshots that
+// reuse the internal/dataset serialization, and rebuilds the Planner on
+// startup from the latest snapshot plus the journal tail.
+//
+// # Architecture
+//
+//	Planner mutation ──(MutationHook, under planner lock)──► sequence number
+//	        │                                                      │
+//	        └── wait ◄── group-commit Batcher ◄── record ──────────┘
+//	                         │  (size/time-triggered flush, one fsync
+//	                         │   per batch, per-caller ack)
+//	                         ▼
+//	                 FileLog  wal-<firstseq>.log segments
+//	                         │
+//	             Snapshot    snap-<seq>.json  (dataset serialization)
+//	             every N mutations; sealed segments whose records are
+//	             all covered by a snapshot are deleted (compaction)
+//
+// # Durability contract
+//
+// A mutation call on a journaled Planner returns only after its record has
+// been fsynced to the active journal segment, so every acknowledged write
+// survives a crash (kill -9 included). Unacknowledged writes — in-flight
+// HTTP requests at crash time — may or may not survive; they were never
+// confirmed to the caller. Group commit batches the fsyncs of concurrent
+// writers, so the per-writer cost amortizes under load.
+//
+// # Recovery
+//
+// Open loads the newest snap-<seq>.json (if any), replays every journal
+// record with a higher sequence number in order, and truncates a torn
+// final record (a crash mid-append) off the last segment. Records are
+// CRC-checked; a corrupt record anywhere but the tail of the final segment
+// aborts recovery rather than silently skipping history.
+package journal
+
+import (
+	"errors"
+
+	stgq "repro"
+)
+
+// Record is one journaled mutation: a monotonically increasing sequence
+// number (1-based, dense) plus the mutation itself.
+type Record struct {
+	Seq uint64
+	Mut stgq.Mutation
+}
+
+var (
+	// ErrClosed reports use of a closed batcher or store.
+	ErrClosed = errors.New("journal: closed")
+	// ErrCorrupt reports an unreadable record outside the torn-tail
+	// position (the final bytes of the final segment).
+	ErrCorrupt = errors.New("journal: corrupt record")
+	// ErrNotDurable reports a mutation that was applied in memory but
+	// whose journal record could not be committed; the caller must treat
+	// the write as failed.
+	ErrNotDurable = errors.New("journal: mutation not durable")
+)
+
+// Appender is a durable sink for encoded records. Append must not return
+// until the records survive a crash; it is called by a single goroutine
+// (the batcher's writer).
+type Appender interface {
+	Append(recs []Record) error
+	Close() error
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file so two
+// processes cannot append to the same journal (interleaved sequence
+// numbers would corrupt it). flock releases automatically if the process
+// dies, so a kill -9 never leaves a stale lock.
+func lockDir(dir string) (release func(), err error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: data dir %s is in use by another process: %w", dir, err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

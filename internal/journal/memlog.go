@@ -1,0 +1,85 @@
+package journal
+
+import (
+	"sync"
+	"time"
+)
+
+// MemLog is an in-memory Appender for tests and benchmarks. It stores the
+// same framed bytes a FileLog would write, so torn-tail behaviour can be
+// exercised by truncating the buffer at arbitrary offsets. SyncDelay, when
+// set, simulates fsync latency to make group-commit effects visible.
+type MemLog struct {
+	SyncDelay time.Duration
+
+	mu      sync.Mutex
+	buf     []byte
+	appends int
+	failing error // non-nil: every Append fails with this error
+}
+
+// Append encodes and stores the records.
+func (m *MemLog) Append(recs []Record) error {
+	m.mu.Lock()
+	fail := m.failing
+	m.mu.Unlock()
+	if fail != nil {
+		return fail
+	}
+	var frames []byte
+	for _, rec := range recs {
+		var err error
+		if frames, err = appendFrame(frames, rec); err != nil {
+			return err
+		}
+	}
+	if m.SyncDelay > 0 {
+		time.Sleep(m.SyncDelay)
+	}
+	m.mu.Lock()
+	m.buf = append(m.buf, frames...)
+	m.appends++
+	m.mu.Unlock()
+	return nil
+}
+
+// Close implements Appender.
+func (m *MemLog) Close() error { return nil }
+
+// Fail makes every subsequent Append return err (nil restores normality).
+func (m *MemLog) Fail(err error) {
+	m.mu.Lock()
+	m.failing = err
+	m.mu.Unlock()
+}
+
+// Len returns the stored byte count.
+func (m *MemLog) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// Truncate cuts the stored bytes to n, simulating a crash mid-write.
+func (m *MemLog) Truncate(n int) {
+	m.mu.Lock()
+	if n >= 0 && n < len(m.buf) {
+		m.buf = m.buf[:n]
+	}
+	m.mu.Unlock()
+}
+
+// Records decodes the stored frames, dropping any torn tail.
+func (m *MemLog) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs, _ := scanFrames(m.buf)
+	return recs
+}
+
+// Appends returns how many Append calls (≈ fsyncs) were made.
+func (m *MemLog) Appends() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appends
+}

@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// metaFileName holds store-level facts that must survive restarts but are
+// not per-mutation (and so have no journal record): currently the schedule
+// horizon. Without it, journal-only recovery (a crash before the first
+// snapshot) would silently depend on the -horizon flag of the restart.
+const metaFileName = "meta.json"
+
+type storeMeta struct {
+	HorizonSlots int `json:"horizonSlots"`
+}
+
+func loadMeta(dir string) (storeMeta, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if os.IsNotExist(err) {
+		return storeMeta{}, false, nil
+	}
+	if err != nil {
+		return storeMeta{}, false, fmt.Errorf("journal: meta: %w", err)
+	}
+	var m storeMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return storeMeta{}, false, fmt.Errorf("journal: meta: %w", err)
+	}
+	return m, true, nil
+}
+
+func writeMeta(dir string, m storeMeta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(dir, filepath.Join(dir, metaFileName), func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}

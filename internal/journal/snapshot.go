@@ -1,0 +1,64 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+// Snapshot files are snap-<seq>.json: the dataset serialization of the
+// planner state after applying every record with Seq ≤ seq. Writes go
+// through a temp file + fsync + rename so a crash mid-snapshot leaves the
+// previous snapshot intact.
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+)
+
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapSuffix))
+}
+
+// writeSnapshot durably writes ds as the snapshot for seq and deletes any
+// older snapshots.
+func writeSnapshot(dir string, seq uint64, ds *dataset.Dataset) error {
+	err := atomicWriteFile(dir, snapshotPath(dir, seq), func(f *os.File) error {
+		return ds.Save(f)
+	})
+	if err != nil {
+		return err
+	}
+	// Retire superseded snapshots; recovery only ever reads the newest.
+	snaps, err := listNumbered(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil // the snapshot itself is durable; cleanup is advisory
+	}
+	for _, s := range snaps {
+		if s.seq < seq {
+			_ = os.Remove(s.path)
+		}
+	}
+	return nil
+}
+
+// loadLatestSnapshot returns the newest snapshot's dataset and sequence
+// number, or ok=false when the directory holds none.
+func loadLatestSnapshot(dir string) (*dataset.Dataset, uint64, bool, error) {
+	snaps, err := listNumbered(dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) == 0 {
+		return nil, 0, false, err
+	}
+	newest := snaps[len(snaps)-1]
+	f, err := os.Open(newest.path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: open snapshot: %w", err)
+	}
+	defer f.Close()
+	ds, err := dataset.Load(f)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: snapshot %s: %w", filepath.Base(newest.path), err)
+	}
+	return ds, newest.seq, true, nil
+}

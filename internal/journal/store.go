@@ -1,0 +1,450 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stgq "repro"
+)
+
+// Options tunes a Store. The zero value is a sensible production default.
+type Options struct {
+	// HorizonSlots sizes the schedule when the store is created. It is
+	// recorded in the data dir's meta.json on first open; on recovery
+	// the recorded value wins, so restarting with a different flag
+	// cannot silently change (or break replay of) the schedule.
+	HorizonSlots int
+	// SnapshotEvery takes a snapshot (and compacts the journal) after
+	// this many mutations. 0 means DefaultSnapshotEvery; negative
+	// disables automatic snapshots (Close still writes a final one).
+	SnapshotEvery int
+	// MaxBatch / MaxWait tune group commit (see Batcher).
+	MaxBatch int
+	MaxWait  time.Duration
+	// MaxSegmentBytes triggers size-based segment rotation.
+	MaxSegmentBytes int64
+}
+
+// DefaultSnapshotEvery is the automatic snapshot cadence in mutations.
+const DefaultSnapshotEvery = 4096
+
+// RecoveryInfo reports what Open found and rebuilt.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence number of the loaded snapshot (0: none).
+	SnapshotSeq uint64
+	// ReplayedRecords counts journal records applied on top of it.
+	ReplayedRecords int
+	// LastSeq is the highest sequence number recovered.
+	LastSeq uint64
+	// TruncatedBytes is the size of the torn tail cut off the final
+	// segment (0 on a clean shutdown).
+	TruncatedBytes int64
+	// People/Friendships describe the recovered population.
+	People, Friendships int
+}
+
+// Stats is a point-in-time view of the subsystem, exposed by the service's
+// GET /status.
+type Stats struct {
+	LastSeq         uint64 `json:"lastSeq"`
+	DurableSeq      uint64 `json:"durableSeq"`
+	Batches         uint64 `json:"batches"`
+	Records         uint64 `json:"records"`
+	Fsyncs          uint64 `json:"fsyncs"`
+	Segments        int    `json:"segments"`
+	SegmentBytes    int64  `json:"segmentBytes"`
+	Snapshots       uint64 `json:"snapshots"`
+	LastSnapshotSeq uint64 `json:"lastSnapshotSeq"`
+	ReplayedOnBoot  int    `json:"replayedOnBoot"`
+	// SnapshotError is the most recent automatic-snapshot failure (""
+	// when the last attempt succeeded); mutations stay durable through
+	// the journal regardless.
+	SnapshotError string `json:"snapshotError,omitempty"`
+}
+
+// Store owns the durable state of one Planner: its journal, snapshots and
+// group-commit pipeline. Open recovers (or initializes) the planner;
+// afterwards every planner mutation is journaled transparently through the
+// mutation hook, and the mutating call returns only once its record is
+// durable.
+type Store struct {
+	dir    string
+	opts   Options
+	pl     *stgq.Planner
+	log    *FileLog
+	b      *Batcher
+	rec    RecoveryInfo
+	unlock func() // releases the data-dir lock
+
+	seq       atomic.Uint64 // last assigned sequence number
+	sinceSnap atomic.Int64  // mutations since the last snapshot
+	snapshots atomic.Uint64
+	lastSnap  atomic.Uint64
+	snapErr   atomic.Value  // string: last automatic-snapshot failure
+	rejected  atomic.Uint64 // mutations applied in memory but refused a journal record (close stragglers)
+	closed    atomic.Bool
+
+	snapMu sync.Mutex // serializes snapshot/compaction cycles
+}
+
+// Open recovers the planner persisted in dir (creating the directory if
+// needed) and starts journaling new mutations into it.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	// 0. Exclude other processes: two appenders interleaving sequence
+	// numbers in one journal would corrupt it beyond recovery.
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.unlock = unlock
+	defer func() {
+		if s.b == nil { // any failure below: release the lock
+			unlock()
+		}
+	}()
+
+	// Stale temp files from a crash mid-snapshot/meta-write are garbage.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range tmps {
+			_ = os.Remove(p)
+		}
+	}
+
+	// 1. Latest snapshot, if any; the recorded horizon overrides the
+	// caller's for journal-only recovery.
+	meta, haveMeta, err := loadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	ds, snapSeq, haveSnap, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case haveSnap:
+		s.pl = stgq.FromDataset(ds)
+	case haveMeta:
+		s.pl = stgq.NewPlanner(meta.HorizonSlots)
+	default:
+		s.pl = stgq.NewPlanner(opts.HorizonSlots)
+	}
+	if !haveMeta {
+		if err := writeMeta(dir, storeMeta{HorizonSlots: s.pl.Horizon()}); err != nil {
+			return nil, err
+		}
+	}
+	s.rec.SnapshotSeq = snapSeq
+	s.lastSnap.Store(snapSeq)
+
+	// 2. Replay the journal tail on top of it.
+	segs, lastSeq, truncated, replayed, err := replayDir(dir, snapSeq, s.pl)
+	if err != nil {
+		return nil, err
+	}
+	if lastSeq < snapSeq {
+		lastSeq = snapSeq
+	}
+	s.rec.ReplayedRecords = replayed
+	s.rec.LastSeq = lastSeq
+	s.rec.TruncatedBytes = truncated
+	s.rec.People = s.pl.NumPeople()
+	s.rec.Friendships = s.pl.NumFriendships()
+	s.seq.Store(lastSeq)
+	// Count the replayed tail toward the snapshot cadence: a process that
+	// is killed every few thousand mutations would otherwise never cross
+	// SnapshotEvery with *new* writes alone, so the journal — and every
+	// boot's replay — would grow without bound.
+	s.sinceSnap.Store(int64(replayed))
+
+	// 3. Open the log for appending and start the group-commit pipeline.
+	s.log, err = openFileLog(dir, segs, lastSeq+1, opts.MaxSegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.b = NewBatcher(s.log, opts.MaxBatch, opts.MaxWait)
+
+	// 4. From here on, every mutation is journaled.
+	s.pl.SetMutationHook(s.onMutation)
+	return s, nil
+}
+
+// replayDir scans dir's segments in order and applies every record with
+// Seq > afterSeq to pl. It truncates a torn tail on the final segment and
+// verifies the sequence numbers are gapless.
+func replayDir(dir string, afterSeq uint64, pl *stgq.Planner) (segs []segmentInfo, lastSeq uint64, truncated int64, replayed int, err error) {
+	segs, err = listSegments(dir)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	prev := afterSeq // next record to replay must be afterSeq+1
+	for i := range segs {
+		data, err := os.ReadFile(segs[i].path)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("journal: %w", err)
+		}
+		recs, consumed := scanFrames(data)
+		if consumed < len(data) {
+			if i != len(segs)-1 {
+				return nil, 0, 0, 0, fmt.Errorf("%w: segment %s damaged at byte %d (not the final segment)",
+					ErrCorrupt, segs[i].path, consumed)
+			}
+			if containsValidFrame(data[consumed+1:]) {
+				// Valid frames resume after the break: this is damage in
+				// the middle of the segment, not a torn final append.
+				// Truncating would silently discard acknowledged records.
+				return nil, 0, 0, 0, fmt.Errorf("%w: segment %s damaged at byte %d with intact records after it",
+					ErrCorrupt, segs[i].path, consumed)
+			}
+			// Torn tail: a crash interrupted the last append.
+			if err := os.Truncate(segs[i].path, int64(consumed)); err != nil {
+				return nil, 0, 0, 0, fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+			truncated = int64(len(data) - consumed)
+		}
+		segs[i].bytes = int64(consumed)
+		for _, rec := range recs {
+			segs[i].lastSeq = rec.Seq
+			if rec.Seq <= afterSeq {
+				// Folded into the snapshot already. No gap check here:
+				// a partially-failed compaction legitimately leaves
+				// holes among snapshot-covered segments.
+				continue
+			}
+			if rec.Seq != prev+1 {
+				return nil, 0, 0, 0, fmt.Errorf("%w: sequence gap %d → %d in %s (snapshot covers up to %d)",
+					ErrCorrupt, prev, rec.Seq, segs[i].path, afterSeq)
+			}
+			prev = rec.Seq
+			if err := apply(pl, rec); err != nil {
+				return nil, 0, 0, 0, err
+			}
+			replayed++
+		}
+	}
+	return segs, prev, truncated, replayed, nil
+}
+
+// apply replays one journaled mutation into the planner. The planner's
+// mutation hook must not be installed yet.
+func apply(pl *stgq.Planner, rec Record) error {
+	m := rec.Mut
+	switch m.Op {
+	case stgq.MutAddPerson:
+		id, err := pl.AddPerson(m.Name)
+		if err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		if id != m.Person {
+			return fmt.Errorf("%w: replay seq %d assigned person %d, journal says %d",
+				ErrCorrupt, rec.Seq, id, m.Person)
+		}
+		return nil
+	case stgq.MutConnect:
+		if err := pl.Connect(m.A, m.B, m.Distance); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
+	case stgq.MutDisconnect:
+		if err := pl.Disconnect(m.A, m.B); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
+	case stgq.MutSetAvailable:
+		if err := pl.SetAvailable(m.Person, m.From, m.To); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
+	case stgq.MutSetBusy:
+		if err := pl.SetBusy(m.Person, m.From, m.To); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: replay seq %d: unknown op %d", ErrCorrupt, rec.Seq, m.Op)
+}
+
+// onMutation is the planner's MutationHook: it assigns the next sequence
+// number and enqueues the record while the planner lock is held (so
+// journal order equals apply order), then has the caller wait for group
+// commit after the lock is released (so concurrent writers share fsyncs).
+func (s *Store) onMutation(m stgq.Mutation) func() error {
+	seq := s.seq.Add(1)
+	ack := s.b.Enqueue(Record{Seq: seq, Mut: m})
+	return func() error {
+		if err := <-ack; err != nil {
+			return fmt.Errorf("%w: %v: %w", ErrNotDurable, m.Op, err)
+		}
+		if s.opts.SnapshotEvery > 0 && s.sinceSnap.Add(1) >= int64(s.opts.SnapshotEvery) {
+			// Opportunistic: one of the concurrent writers pays for the
+			// snapshot; the others skip past the held mutex. A snapshot
+			// failure is background-maintenance trouble, not this
+			// caller's — the mutation is already journaled and durable —
+			// so it is recorded in Stats rather than returned.
+			if s.snapMu.TryLock() {
+				if s.sinceSnap.Load() >= int64(s.opts.SnapshotEvery) {
+					if err := s.snapshotLocked(); err != nil {
+						s.snapErr.Store(err.Error())
+					} else {
+						s.snapErr.Store("")
+					}
+				}
+				s.snapMu.Unlock()
+			}
+		}
+		return nil
+	}
+}
+
+// Planner returns the recovered, journaled planner.
+func (s *Store) Planner() *stgq.Planner { return s.pl }
+
+// Recovery reports what Open rebuilt.
+func (s *Store) Recovery() RecoveryInfo { return s.rec }
+
+// Stats returns a point-in-time view of the subsystem.
+func (s *Store) Stats() Stats {
+	syncs, _, _ := s.log.Counters()
+	batches, records := s.b.Counters()
+	nseg, segBytes := s.log.Segments()
+	durable := s.b.DurableSeq()
+	if durable < s.rec.LastSeq {
+		// Everything recovered at boot is durable by definition; the
+		// batcher only learns sequence numbers it commits itself.
+		durable = s.rec.LastSeq
+	}
+	return Stats{
+		LastSeq:         s.seq.Load(),
+		DurableSeq:      durable,
+		Batches:         batches,
+		Records:         records,
+		Fsyncs:          syncs,
+		Segments:        nseg,
+		SegmentBytes:    segBytes,
+		Snapshots:       s.snapshots.Load(),
+		LastSnapshotSeq: s.lastSnap.Load(),
+		ReplayedOnBoot:  s.rec.ReplayedRecords,
+		SnapshotError:   s.lastSnapshotError(),
+	}
+}
+
+func (s *Store) lastSnapshotError() string {
+	if v, ok := s.snapErr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Snapshot forces a snapshot + compaction cycle now.
+func (s *Store) Snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked exports the planner at a pinned sequence number, makes
+// the snapshot durable, and retires journal segments it covers. Caller
+// holds snapMu.
+func (s *Store) snapshotLocked() error {
+	if s.seq.Load() == s.lastSnap.Load() {
+		// Nothing new since the last snapshot; skip the (expensive)
+		// export. Racing mutations are picked up by the next cycle.
+		s.sinceSnap.Store(0)
+		return nil
+	}
+	var seq, rejected uint64
+	ds := s.pl.Export(func() {
+		seq = s.seq.Load()
+		rejected = s.rejected.Load() // exact: the rejecting hook runs under the same lock
+	})
+	s.sinceSnap.Store(0)
+	if rejected > 0 {
+		// A close-straggler mutated the planner without a journal
+		// record; exporting would resurrect a write whose caller was
+		// told it failed. The journal alone stays authoritative.
+		return fmt.Errorf("journal: skipping snapshot: %d mutation(s) were rejected mid-close", rejected)
+	}
+	if seq == s.lastSnap.Load() {
+		return nil // nothing new since the last snapshot
+	}
+	// Records ≤ seq must be durable before the journal they live in can
+	// be considered redundant.
+	if err := s.b.Flush(); err != nil {
+		return fmt.Errorf("journal: pre-snapshot flush: %w", err)
+	}
+	// A poisoned log means some acknowledged-as-failed mutations exist
+	// only in memory; snapshotting would resurrect writes whose callers
+	// were told they failed. (Flush alone cannot catch this on the Close
+	// path: the batcher is already closed and reports nothing.)
+	if err := s.log.Failed(); err != nil {
+		return fmt.Errorf("journal: skipping snapshot, log unhealthy: %w", err)
+	}
+	// And the pinned sequence number itself must be provably durable:
+	// during Close, Flush can return nil on the stopped batcher while a
+	// final record is still being drained, so re-check the watermark.
+	if durable := max(s.b.DurableSeq(), s.rec.LastSeq); durable < seq {
+		return fmt.Errorf("journal: skipping snapshot at seq %d: only %d durable", seq, durable)
+	}
+	if err := writeSnapshot(s.dir, seq, ds); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnap.Store(seq)
+	// Seal the active segment so future compactions can retire it, then
+	// drop every sealed segment fully covered by this snapshot.
+	if err := s.log.Rotate(); err != nil {
+		return err
+	}
+	if _, err := s.log.Compact(seq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close detaches the mutation hook, flushes the pipeline, writes a final
+// snapshot (when anything changed) and closes the journal. The planner
+// remains usable in memory afterwards, but new mutations are no longer
+// persisted.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	// Swap in a hook that fails instead of detaching: a mutation that
+	// slips in mid-close (e.g. a straggler request after the HTTP drain
+	// timeout) must be reported as not-durable, not silently accepted
+	// into memory and lost on restart. The counter (incremented under
+	// the planner lock, before the caller learns of the failure) lets
+	// snapshotLocked refuse to export in-memory state that now contains
+	// effects without journal records.
+	s.pl.SetMutationHook(func(stgq.Mutation) func() error {
+		s.rejected.Add(1)
+		return func() error { return fmt.Errorf("%w: store closing", ErrNotDurable) }
+	})
+	var firstErr error
+	if err := s.b.Close(); err != nil {
+		firstErr = err
+	}
+	s.snapMu.Lock()
+	if err := s.snapshotLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.snapMu.Unlock()
+	if err := s.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if s.unlock != nil {
+		s.unlock()
+	}
+	return firstErr
+}

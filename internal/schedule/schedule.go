@@ -54,6 +54,24 @@ func NewCalendar(users, horizon int) *Calendar {
 	return c
 }
 
+// ExtendedClone returns a deep copy of c widened to at least the given
+// number of users; the extra users start all-busy. Rows and columns are
+// copied word-wise, so cloning is O(users·horizon/64) — cheap enough to
+// run on the first query after a mutation.
+func (c *Calendar) ExtendedClone(users int) *Calendar {
+	if users < c.users {
+		users = c.users
+	}
+	n := NewCalendar(users, c.horizon)
+	for u := 0; u < c.users; u++ {
+		n.rows[u].CopyFrom(c.rows[u])
+	}
+	for t := 0; t < c.horizon; t++ {
+		n.cols[t].CopyFromPrefix(c.cols[t])
+	}
+	return n
+}
+
 // Users returns the number of users.
 func (c *Calendar) Users() int { return c.users }
 

@@ -285,3 +285,41 @@ func TestQuickCommonRunOracle(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestExtendedClone(t *testing.T) {
+	c := NewCalendar(3, 100)
+	c.SetRange(0, 0, 100, true)
+	c.SetRange(1, 10, 20, true)
+	c.SetRange(2, 99, 100, true)
+	n := c.ExtendedClone(5)
+	if n.Users() != 5 || n.Horizon() != 100 {
+		t.Fatalf("dims %dx%d", n.Users(), n.Horizon())
+	}
+	for u := 0; u < 3; u++ {
+		if !n.Row(u).Equal(c.Row(u)) {
+			t.Fatalf("row %d diverged", u)
+		}
+	}
+	for tt := 0; tt < 100; tt++ {
+		for u := 0; u < 5; u++ {
+			want := u < 3 && c.Available(u, tt)
+			if n.Available(u, tt) != want {
+				t.Fatalf("clone(%d,%d) = %v, want %v", u, tt, !want, want)
+			}
+			if n.Col(tt).Contains(u) != want {
+				t.Fatalf("clone col(%d,%d) mismatch", tt, u)
+			}
+		}
+	}
+	// Mutating the clone must not touch the original.
+	n.SetBusy(0, 0)
+	n.SetAvailable(4, 50)
+	if !c.Available(0, 0) || c.Col(50).Contains(2) != c.Available(2, 50) {
+		t.Fatal("clone aliases original")
+	}
+	// Same-size clone round-trips.
+	same := c.ExtendedClone(0)
+	if same.Users() != 3 || !same.Row(1).Equal(c.Row(1)) {
+		t.Fatal("same-size clone wrong")
+	}
+}

@@ -6,16 +6,27 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /people        {"name": "ana"}                        → {"id": 0}
-//	POST /friendships   {"a": 0, "b": 1, "distance": 4}        → {}
-//	POST /availability  {"person":0,"from":36,"to":44,"available":true} → {}
-//	POST /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
-//	POST /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
-//	POST /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
-//	GET  /status                                               → counts
+//	POST   /people        {"name": "ana"}                        → {"id": 0}
+//	POST   /friendships   {"a": 0, "b": 1, "distance": 4}        → {}
+//	DELETE /friendships   {"a": 0, "b": 1}                       → {}
+//	POST   /availability  {"person":0,"from":36,"to":44,"available":true} → {}
+//	POST   /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
+//	POST   /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
+//	POST   /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
+//	GET    /status                                               → counts
 //
 // Infeasible queries return 422; malformed requests 400; unknown people
 // 404.
+//
+// # Persistence
+//
+// A server created with NewWithStore journals every mutation through the
+// repro/internal/journal subsystem: the mutating endpoints return only
+// after the change is fsynced (503 when the journal fails), and GET
+// /status grows a "journal" object with the write-path statistics
+// (sequence numbers, group-commit batches, fsyncs, segments, snapshots).
+// Servers created with New or NewWithPlanner keep the previous in-memory
+// behaviour. Queries never touch the journal.
 package service
 
 import (
@@ -23,17 +34,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 
 	stgq "repro"
+	"repro/internal/journal"
 )
 
 // Server is the HTTP planning service. Create with New, mount anywhere (it
-// implements http.Handler).
+// implements http.Handler). The underlying Planner synchronizes mutations
+// and queries itself, so handlers run concurrently without server-level
+// locking.
 type Server struct {
-	mu  sync.RWMutex
-	pl  *stgq.Planner
-	mux *http.ServeMux
+	pl    *stgq.Planner
+	store *journal.Store // nil for in-memory servers
+	mux   *http.ServeMux
 }
 
 // New creates a service over an empty population with the given schedule
@@ -52,10 +65,19 @@ func NewWithPlanner(pl *stgq.Planner) *Server {
 	return s
 }
 
+// NewWithStore wraps a journal store's recovered planner; mutations are
+// durable and /status reports journal statistics.
+func NewWithStore(st *journal.Store) *Server {
+	s := &Server{pl: st.Planner(), store: st}
+	s.routes()
+	return s
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /people", s.handleAddPerson)
 	s.mux.HandleFunc("POST /friendships", s.handleAddFriendship)
+	s.mux.HandleFunc("DELETE /friendships", s.handleRemoveFriendship)
 	s.mux.HandleFunc("POST /availability", s.handleAvailability)
 	s.mux.HandleFunc("POST /query/group", s.handleGroupQuery)
 	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
@@ -80,11 +102,11 @@ type AddPersonResponse struct {
 	ID int `json:"id"`
 }
 
-// FriendshipRequest records a social edge.
+// FriendshipRequest records or (distance ignored) removes a social edge.
 type FriendshipRequest struct {
 	A        int     `json:"a"`
 	B        int     `json:"b"`
-	Distance float64 `json:"distance"`
+	Distance float64 `json:"distance,omitempty"`
 }
 
 // AvailabilityRequest marks a slot range free or busy.
@@ -135,11 +157,13 @@ type ManualResponse struct {
 	ObservedK   int `json:"observedK"`
 }
 
-// StatusResponse answers /status.
+// StatusResponse answers /status. Journal is present only on durable
+// servers (NewWithStore).
 type StatusResponse struct {
-	People      int `json:"people"`
-	Friendships int `json:"friendships"`
-	Horizon     int `json:"horizonSlots"`
+	People      int            `json:"people"`
+	Friendships int            `json:"friendships"`
+	Horizon     int            `json:"horizonSlots"`
+	Journal     *journal.Stats `json:"journal,omitempty"`
 }
 
 type errorResponse struct {
@@ -153,9 +177,11 @@ func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	id := s.pl.AddPerson(req.Name)
-	s.mu.Unlock()
+	id, err := s.pl.AddPerson(req.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, AddPersonResponse{ID: int(id)})
 }
 
@@ -164,10 +190,19 @@ func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	err := s.pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) {
+	var req FriendshipRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.pl.Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -179,14 +214,12 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
 	var err error
 	if req.Available {
 		err = s.pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
 	} else {
 		err = s.pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
 	}
-	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -216,12 +249,10 @@ func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.mu.RLock()
 	res, err := s.pl.FindGroup(stgq.SGQuery{
 		Initiator: stgq.PersonID(req.Initiator),
 		P:         req.P, S: req.S, K: req.K, Algorithm: alg,
 	})
-	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -239,7 +270,6 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.mu.RLock()
 	plan, err := s.pl.PlanActivity(stgq.STGQuery{
 		SGQuery: stgq.SGQuery{
 			Initiator: stgq.PersonID(req.Initiator),
@@ -247,7 +277,6 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 		},
 		M: req.M,
 	})
-	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -265,7 +294,6 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	s.mu.RLock()
 	plan, err := s.pl.PlanManually(stgq.STGQuery{
 		SGQuery: stgq.SGQuery{
 			Initiator: stgq.PersonID(req.Initiator),
@@ -273,7 +301,6 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 		},
 		M: req.M,
 	})
-	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -291,13 +318,16 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
+	people, friendships := s.pl.Counts()
 	resp := StatusResponse{
-		People:      s.pl.NumPeople(),
-		Friendships: s.pl.NumFriendships(),
+		People:      people,
+		Friendships: friendships,
 		Horizon:     s.pl.Horizon(),
 	}
-	s.mu.RUnlock()
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Journal = &st
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -311,8 +341,13 @@ func toGroupResponse(res *stgq.GroupResult) GroupResponse {
 	return GroupResponse{Members: members, TotalDistance: res.TotalDistance}
 }
 
+// maxBodyBytes caps request bodies: no legitimate request here exceeds a
+// few KB, and the cap keeps oversized names from reaching the journal
+// (whose per-record limit is 1 MiB).
+const maxBodyBytes = 64 << 10
+
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
@@ -323,13 +358,23 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 
 func writeErr(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, journal.ErrClosed), isJournalErr(err):
+		// The mutation may have been applied in memory but is not
+		// durable; surface it as a server-side failure.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, stgq.ErrNoFeasibleGroup), errors.Is(err, stgq.ErrCannotCoordinate):
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-	case errors.Is(err, stgq.ErrPersonNotFound):
+	case errors.Is(err, stgq.ErrPersonNotFound), errors.Is(err, stgq.ErrNotFriends):
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	}
+}
+
+// isJournalErr reports whether err came out of the durability pipeline (as
+// opposed to input validation).
+func isJournalErr(err error) bool {
+	return errors.Is(err, journal.ErrNotDurable) || errors.Is(err, journal.ErrCorrupt)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ import (
 
 	stgq "repro"
 	"repro/internal/dataset"
+	"repro/internal/journal"
 )
 
 func post(t *testing.T, ts *httptest.Server, path string, body, into any) int {
@@ -178,10 +179,11 @@ func TestErrorMapping(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
 	}
-	// Bad friendship endpoint → 400.
+	// Friendship with an unknown person → 404 (consistent with the
+	// package doc: unknown people 404).
 	code = post(t, ts, "/friendships", FriendshipRequest{A: 0, B: 99, Distance: 2}, nil)
-	if code != http.StatusBadRequest {
-		t.Errorf("bad friendship: status %d, want 400", code)
+	if code != http.StatusNotFound {
+		t.Errorf("bad friendship: status %d, want 404", code)
 	}
 	// Availability out of range → 400.
 	code = post(t, ts, "/availability", AvailabilityRequest{Person: ids["v7"], From: -2, To: 3, Available: true}, nil)
@@ -196,6 +198,122 @@ func TestErrorMapping(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /people: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func del(t *testing.T, ts *httptest.Server, path string, body any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestRemoveFriendship(t *testing.T) {
+	ts := httptest.NewServer(New(7))
+	defer ts.Close()
+	ids := buildFigure3(t, ts)
+
+	var before GroupResponse
+	if code := post(t, ts, "/query/group", QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}, &before); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	// Cut the cheapest edge of the optimal group; the answer must change.
+	if code := del(t, ts, "/friendships", FriendshipRequest{A: ids["v2"], B: ids["v4"]}); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	var after GroupResponse
+	if code := post(t, ts, "/query/group", QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}, &after); code != http.StatusOK {
+		t.Fatalf("query after delete: status %d", code)
+	}
+	if after.TotalDistance <= before.TotalDistance {
+		t.Errorf("distance %v after removing an optimal edge, want > %v", after.TotalDistance, before.TotalDistance)
+	}
+	// Removing it again is 404: the friendship no longer exists.
+	if code := del(t, ts, "/friendships", FriendshipRequest{A: ids["v2"], B: ids["v4"]}); code != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", code)
+	}
+}
+
+// TestDurableServiceRestart drives the journaled deployment end to end:
+// populate over HTTP, stop, restart from the same directory, and check
+// /status and /query/activity answer identically.
+func TestDurableServiceRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir, journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithStore(st))
+	ids := buildFigure3(t, ts)
+
+	var plan1 PlanResponse
+	if code := post(t, ts, "/query/activity",
+		QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1, M: 3}, &plan1); code != http.StatusOK {
+		t.Fatalf("activity: status %d", code)
+	}
+	var status1 StatusResponse
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status1); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status1.Journal == nil {
+		t.Fatal("durable server must report journal stats")
+	}
+	if status1.Journal.LastSeq == 0 || status1.Journal.DurableSeq != status1.Journal.LastSeq {
+		t.Fatalf("journal stats implausible: %+v", *status1.Journal)
+	}
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := journal.Open(dir, journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := httptest.NewServer(NewWithStore(st2))
+	defer ts2.Close()
+
+	var status2 StatusResponse
+	resp, err = http.Get(ts2.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status2.People != status1.People || status2.Friendships != status1.Friendships {
+		t.Fatalf("restart lost population: %+v vs %+v", status2, status1)
+	}
+	var plan2 PlanResponse
+	if code := post(t, ts2, "/query/activity",
+		QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1, M: 3}, &plan2); code != http.StatusOK {
+		t.Fatalf("activity after restart: status %d", code)
+	}
+	if plan2.TotalDistance != plan1.TotalDistance || plan2.WindowStart != plan1.WindowStart || plan2.WindowEnd != plan1.WindowEnd {
+		t.Fatalf("restart changed the plan: %+v vs %+v", plan2, plan1)
+	}
+	// And the restarted service still accepts durable writes.
+	var add AddPersonResponse
+	if code := post(t, ts2, "/people", AddPersonRequest{Name: "newcomer"}, &add); code != http.StatusOK {
+		t.Fatalf("post-restart add: status %d", code)
 	}
 }
 

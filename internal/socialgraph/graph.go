@@ -21,6 +21,8 @@ var Inf = math.Inf(1)
 var (
 	// ErrVertexNotFound reports a lookup of an unknown vertex.
 	ErrVertexNotFound = errors.New("socialgraph: vertex not found")
+	// ErrEdgeNotFound reports removal of an edge that does not exist.
+	ErrEdgeNotFound = errors.New("socialgraph: edge not found")
 	// ErrSelfLoop reports an attempt to connect a vertex to itself.
 	ErrSelfLoop = errors.New("socialgraph: self loops are not allowed")
 	// ErrNegativeDistance reports a non-positive social distance.
@@ -169,6 +171,50 @@ func (g *Graph) AddEdge(u, v int, dist float64) error {
 	g.adj[u] = append(g.adj[u], edge{v, dist})
 	g.adj[v] = append(g.adj[v], edge{u, dist})
 	return nil
+}
+
+// RemoveEdge disconnects u and v. Removing an edge that does not exist
+// returns ErrEdgeNotFound.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) {
+		return fmt.Errorf("%w: id %d", ErrVertexNotFound, u)
+	}
+	if v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("%w: id %d", ErrVertexNotFound, v)
+	}
+	if !g.dropHalfEdge(u, v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrEdgeNotFound, u, v)
+	}
+	g.dropHalfEdge(v, u)
+	return nil
+}
+
+func (g *Graph) dropHalfEdge(u, v int) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].to == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph. Mutating the copy (or the
+// original) does not affect the other; radius graphs extracted earlier
+// remain valid since they do not reference the Graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:    make([][]edge, len(g.adj)),
+		labels: append([]string(nil), g.labels...),
+		byName: make(map[string]int, len(g.byName)),
+	}
+	for v, a := range g.adj {
+		c.adj[v] = append([]edge(nil), a...)
+	}
+	for name, id := range g.byName {
+		c.byName[name] = id
+	}
+	return c
 }
 
 // MustAddEdge is AddEdge that panics on error, for construction code.

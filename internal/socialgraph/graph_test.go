@@ -1,6 +1,7 @@
 package socialgraph
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -412,5 +413,54 @@ func TestQuickRadiusGraphInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddVertices(3)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge survived removal")
+	}
+	if g.NumEdges() != 1 || g.Degree(1) != 1 {
+		t.Fatalf("counts after removal: %d edges, degree(1)=%d", g.NumEdges(), g.Degree(1))
+	}
+	if err := g.RemoveEdge(0, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("double removal: %v, want ErrEdgeNotFound", err)
+	}
+	if err := g.RemoveEdge(0, 9); !errors.Is(err, ErrVertexNotFound) {
+		t.Fatalf("unknown vertex: %v, want ErrVertexNotFound", err)
+	}
+	// Re-adding after removal works and restores connectivity.
+	g.MustAddEdge(0, 1, 3)
+	if d, ok := g.EdgeDistance(0, 1); !ok || d != 3 {
+		t.Fatalf("re-added edge: %v %v", d, ok)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	g.MustAddVertex("a")
+	g.MustAddVertex("b")
+	g.MustAddEdge(0, 1, 4)
+	c := g.Clone()
+	c.MustAddVertex("c")
+	c.MustAddEdge(1, 2, 2)
+	if err := c.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 || !g.HasEdge(0, 1) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if id, err := c.VertexByLabel("c"); err != nil || id != 2 {
+		t.Fatalf("clone label index: %v %v", id, err)
+	}
+	if id, err := g.VertexByLabel("a"); err != nil || id != 0 {
+		t.Fatalf("original label index: %v %v", id, err)
 	}
 }

@@ -66,19 +66,19 @@ func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
 
 // SchedulePolicy returns person p's current policy.
 func (pl *Planner) SchedulePolicy(p PersonID) SharePolicy {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
 	return pl.policies[p]
 }
 
-// visibleCalendar returns the calendar as the initiator is allowed to see
-// it: rows hidden by privacy policies are blank (always busy). When no
-// policies are set the shared calendar is returned directly.
-func (pl *Planner) visibleCalendar(initiator PersonID) *schedule.Calendar {
-	base := pl.calendar()
-	pl.mu.Lock()
+// visibleCalendarLocked returns the calendar as the initiator is allowed to
+// see it: rows hidden by privacy policies are blank (always busy). When no
+// policies are set the shared calendar is returned directly. The caller
+// must hold the write lock, or the read lock with a clean calendar cache;
+// the result is immutable.
+func (pl *Planner) visibleCalendarLocked(initiator PersonID) *schedule.Calendar {
+	base := pl.calendarLocked()
 	policies := pl.policies
-	pl.mu.Unlock()
 	if len(policies) == 0 {
 		return base
 	}

@@ -14,7 +14,7 @@ func privacyWorld(t *testing.T) (*stgq.Planner, map[string]stgq.PersonID) {
 	pl := stgq.NewPlanner(10)
 	ids := map[string]stgq.PersonID{}
 	for _, n := range []string{"q", "a", "b", "c", "d"} {
-		ids[n] = pl.AddPerson(n)
+		ids[n] = pl.MustAddPerson(n)
 	}
 	conn := func(x, y string, d float64) {
 		if err := pl.Connect(ids[x], ids[y], d); err != nil {

@@ -25,7 +25,9 @@ func (pl *Planner) AvailabilityGrid(people []PersonID, from, to int) string {
 	if from >= to || len(people) == 0 {
 		return ""
 	}
-	cal := pl.calendar()
+	pl.mu.Lock()
+	cal := pl.calendarLocked()
+	pl.mu.Unlock()
 
 	nameW := 8
 	for _, p := range people {
@@ -54,7 +56,7 @@ func (pl *Planner) AvailabilityGrid(people []PersonID, from, to int) string {
 	b.WriteByte('\n')
 
 	for _, p := range people {
-		if int(p) < 0 || int(p) >= pl.g.NumVertices() {
+		if int(p) < 0 || int(p) >= cal.Users() {
 			continue
 		}
 		fmt.Fprintf(&b, "%-*s", nameW, pl.displayName(p))
@@ -71,7 +73,7 @@ func (pl *Planner) AvailabilityGrid(people []PersonID, from, to int) string {
 }
 
 func (pl *Planner) displayName(p PersonID) string {
-	if n := pl.g.Label(int(p)); n != "" {
+	if n := pl.Name(p); n != "" {
 		return n
 	}
 	return fmt.Sprintf("#%d", int(p))

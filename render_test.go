@@ -9,8 +9,8 @@ import (
 
 func TestAvailabilityGrid(t *testing.T) {
 	pl := stgq.NewPlanner(48)
-	a := pl.AddPerson("ana")
-	b := pl.AddPerson("ben")
+	a := pl.MustAddPerson("ana")
+	b := pl.MustAddPerson("ben")
 	if err := pl.SetAvailable(a, 36, 44); err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestAvailabilityGrid(t *testing.T) {
 
 func TestAvailabilityGridEdges(t *testing.T) {
 	pl := stgq.NewPlanner(10)
-	a := pl.AddPerson("a")
+	a := pl.MustAddPerson("a")
 	if pl.AvailabilityGrid(nil, 0, 5) != "" {
 		t.Error("no people should render empty")
 	}

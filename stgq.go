@@ -21,9 +21,9 @@
 // # Quick start
 //
 //	pl := stgq.NewPlanner(48) // one day of half-hour slots
-//	alice := pl.AddPerson("alice")
-//	bob := pl.AddPerson("bob")
-//	carol := pl.AddPerson("carol")
+//	alice := pl.MustAddPerson("alice")
+//	bob := pl.MustAddPerson("bob")
+//	carol := pl.MustAddPerson("carol")
 //	pl.Connect(alice, bob, 5)
 //	pl.Connect(alice, carol, 9)
 //	pl.Connect(bob, carol, 3)
@@ -36,9 +36,24 @@
 //	})
 //
 // See the examples directory for complete programs.
+//
+// # Persistence
+//
+// A Planner by itself is an in-memory structure: every person, friendship
+// and availability update is lost when the process exits. The
+// repro/internal/journal package adds durability on top of the mutation
+// hook seam (SetMutationHook): each successful mutation is encoded as a
+// typed, versioned record, group-committed to a write-ahead journal, and
+// periodically folded into snapshots that reuse the internal/dataset
+// serialization. On restart the journal store rebuilds the Planner by
+// loading the latest snapshot and replaying the journal tail (any torn
+// final record is truncated). A mutation call only returns once its record
+// is durable, so an acknowledged write survives a crash. The stgqd server
+// exposes this with its -data-dir flag.
 package stgq
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -54,20 +69,86 @@ import (
 // PersonID identifies a person registered with a Planner.
 type PersonID int
 
+// MutationOp enumerates the state-changing Planner calls. The values are
+// stable: they are persisted in journal records.
+type MutationOp uint8
+
+const (
+	// MutAddPerson records an AddPerson call.
+	MutAddPerson MutationOp = iota + 1
+	// MutConnect records a Connect call.
+	MutConnect
+	// MutDisconnect records a Disconnect call.
+	MutDisconnect
+	// MutSetAvailable records a SetAvailable call.
+	MutSetAvailable
+	// MutSetBusy records a SetBusy call.
+	MutSetBusy
+)
+
+func (op MutationOp) String() string {
+	switch op {
+	case MutAddPerson:
+		return "add-person"
+	case MutConnect:
+		return "connect"
+	case MutDisconnect:
+		return "disconnect"
+	case MutSetAvailable:
+		return "set-available"
+	case MutSetBusy:
+		return "set-busy"
+	}
+	return fmt.Sprintf("MutationOp(%d)", uint8(op))
+}
+
+// Mutation describes one successful state-changing Planner call. Which
+// fields are meaningful depends on Op:
+//
+//   - MutAddPerson: Name (as requested) and Person (the assigned id);
+//   - MutConnect: A, B and Distance;
+//   - MutDisconnect: A and B;
+//   - MutSetAvailable, MutSetBusy: Person, From and To.
+type Mutation struct {
+	Op       MutationOp
+	Name     string
+	Person   PersonID
+	A, B     PersonID
+	Distance float64
+	From, To int
+}
+
+// MutationHook observes every successful mutation. It is invoked
+// synchronously while the planner's write lock is held — implementations
+// must be fast and must not call back into the Planner. The returned wait
+// function (nil when no waiting is needed) is called by the mutating method
+// after the lock has been released; its error is returned to the caller.
+//
+// The two-phase shape is what lets a durable backend order records
+// correctly and still batch syncs: sequence numbers are assigned under the
+// planner lock (so journal order equals apply order), while the wait for
+// group commit happens outside it (so concurrent writers' syncs coalesce).
+type MutationHook func(m Mutation) (wait func() error)
+
 // Planner is the activity-planning service: a social graph plus the
 // members' availability calendars. It is the entry point of the public API.
 //
-// A Planner is safe for concurrent queries; mutation (AddPerson, Connect,
-// SetAvailable, SetBusy) must not race with queries.
+// A Planner is safe for concurrent use: queries may run in parallel with
+// each other and with mutations (AddPerson, Connect, Disconnect,
+// SetAvailable, SetBusy). Mutations serialize briefly on an internal lock;
+// queries capture an immutable view (radius graph + calendar) under the
+// lock and run the expensive search outside it.
 type Planner struct {
-	g       *socialgraph.Graph
-	horizon int
-
-	mu       sync.Mutex
-	cal      *schedule.Calendar // lazily built
-	calDirty bool
-	avail    []availRange
-	policies map[PersonID]SharePolicy
+	mu        sync.RWMutex
+	g         *socialgraph.Graph
+	horizon   int
+	base      *schedule.Calendar // dataset-loaded availability, nil when empty-born
+	cal       *schedule.Calendar // lazily built; immutable once materialized
+	calDirty  bool
+	avail     []availRange
+	community []int // dataset-loaded community assignments, for Export
+	policies  map[PersonID]SharePolicy
+	hook      MutationHook
 }
 
 type availRange struct {
@@ -93,41 +174,152 @@ const SlotsPerDay = schedule.SlotsPerDay
 func (pl *Planner) Horizon() int { return pl.horizon }
 
 // NumPeople returns the number of registered people.
-func (pl *Planner) NumPeople() int { return pl.g.NumVertices() }
+func (pl *Planner) NumPeople() int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.g.NumVertices()
+}
 
 // NumFriendships returns the number of social edges.
-func (pl *Planner) NumFriendships() int { return pl.g.NumEdges() }
+func (pl *Planner) NumFriendships() int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.g.NumEdges()
+}
+
+// Counts returns the number of people and friendships as one consistent
+// pair (a mutation cannot land between the two reads).
+func (pl *Planner) Counts() (people, friendships int) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.g.NumVertices(), pl.g.NumEdges()
+}
+
+// SetMutationHook installs (or, with nil, removes) the observer invoked on
+// every successful mutation. Installing a hook after the fact does not
+// replay past mutations; durable deployments install it before accepting
+// traffic (see repro/internal/journal).
+func (pl *Planner) SetMutationHook(h MutationHook) {
+	pl.mu.Lock()
+	pl.hook = h
+	pl.mu.Unlock()
+}
+
+// notifyLocked runs the hook for m under the held write lock and returns
+// the hook's wait function (nil without a hook).
+func (pl *Planner) notifyLocked(m Mutation) func() error {
+	if pl.hook == nil {
+		return nil
+	}
+	return pl.hook(m)
+}
+
+// MaxNameLen bounds display names (in bytes). Keeping names bounded here
+// guarantees every valid mutation fits in a journal record, so a single
+// bad call can never poison a durable store.
+const MaxNameLen = 1 << 16
 
 // AddPerson registers a person and returns their id. Names must be unique
-// when non-empty.
-func (pl *Planner) AddPerson(name string) PersonID {
+// when non-empty; a duplicate name is disambiguated silently (the person is
+// registered unnamed) so ids stay dense. The error is non-nil when the
+// name exceeds MaxNameLen (nothing is registered) or when a mutation hook
+// fails to make the addition durable.
+func (pl *Planner) AddPerson(name string) (PersonID, error) {
+	if len(name) > MaxNameLen {
+		return 0, fmt.Errorf("%w: name of %d bytes exceeds %d", ErrBadQuery, len(name), MaxNameLen)
+	}
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	id, err := pl.g.AddVertex(name)
 	if err != nil {
 		// Disambiguate silently; the original name remains reachable.
 		id, _ = pl.g.AddVertex("")
 	}
 	pl.calDirty = true
-	return PersonID(id)
+	wait := pl.notifyLocked(Mutation{Op: MutAddPerson, Name: name, Person: PersonID(id)})
+	pl.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return PersonID(id), err
+		}
+	}
+	return PersonID(id), nil
+}
+
+// MustAddPerson is AddPerson for setup code that does not use a durable
+// backend; it panics when the mutation hook fails.
+func (pl *Planner) MustAddPerson(name string) PersonID {
+	id, err := pl.AddPerson(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
 }
 
 // PersonByName looks up a person by name.
 func (pl *Planner) PersonByName(name string) (PersonID, error) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
 	id, err := pl.g.VertexByLabel(name)
 	return PersonID(id), err
 }
 
 // Name returns the display name of a person ("" when unnamed).
-func (pl *Planner) Name(p PersonID) string { return pl.g.Label(int(p)) }
+func (pl *Planner) Name(p PersonID) string {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.g.Label(int(p))
+}
 
 // Connect records that two people know each other with the given social
 // distance (> 0; smaller = closer). Reconnecting keeps the smaller
 // distance.
 func (pl *Planner) Connect(a, b PersonID, distance float64) error {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	return pl.g.AddEdge(int(a), int(b), distance)
+	err := pl.g.AddEdge(int(a), int(b), distance)
+	var wait func() error
+	if err == nil {
+		wait = pl.notifyLocked(Mutation{Op: MutConnect, A: a, B: b, Distance: distance})
+	}
+	pl.mu.Unlock()
+	if err != nil {
+		return mapVertexErr(err)
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// mapVertexErr translates the graph's lookup errors into the package's
+// sentinels so callers (and the HTTP layer's 404 mapping) see consistent
+// errors instead of internal package strings.
+func mapVertexErr(err error) error {
+	switch {
+	case errors.Is(err, socialgraph.ErrVertexNotFound):
+		return fmt.Errorf("%w: %v", ErrPersonNotFound, err)
+	case errors.Is(err, socialgraph.ErrEdgeNotFound):
+		return fmt.Errorf("%w: %v", ErrNotFriends, err)
+	}
+	return err
+}
+
+// Disconnect removes the friendship between a and b. Disconnecting people
+// who are not connected is an error.
+func (pl *Planner) Disconnect(a, b PersonID) error {
+	pl.mu.Lock()
+	err := pl.g.RemoveEdge(int(a), int(b))
+	var wait func() error
+	if err == nil {
+		wait = pl.notifyLocked(Mutation{Op: MutDisconnect, A: a, B: b})
+	}
+	pl.mu.Unlock()
+	if err != nil {
+		return mapVertexErr(err)
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
 }
 
 // SetAvailable marks person p free over slot range [from, to).
@@ -142,26 +334,46 @@ func (pl *Planner) SetBusy(p PersonID, from, to int) error {
 
 func (pl *Planner) setRange(p PersonID, from, to int, free bool) error {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
+		pl.mu.Unlock()
 		return fmt.Errorf("%w: person %d", ErrPersonNotFound, p)
 	}
 	if from < 0 || to > pl.horizon || from > to {
+		pl.mu.Unlock()
 		return fmt.Errorf("%w: slot range [%d,%d) outside horizon %d", ErrBadQuery, from, to, pl.horizon)
 	}
 	pl.avail = append(pl.avail, availRange{p, from, to, free})
 	pl.calDirty = true
+	op := MutSetBusy
+	if free {
+		op = MutSetAvailable
+	}
+	wait := pl.notifyLocked(Mutation{Op: op, Person: p, From: from, To: to})
+	pl.mu.Unlock()
+	if wait != nil {
+		return wait()
+	}
 	return nil
 }
 
-// calendar materializes the availability calendar.
-func (pl *Planner) calendar() *schedule.Calendar {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+// calendarLocked materializes the availability calendar. The caller must
+// hold the write lock, or the read lock when the cache is known clean
+// (the function then only reads). The returned calendar is never mutated
+// afterwards (rebuilds allocate a fresh one), so queries may keep using it
+// after the lock is released.
+func (pl *Planner) calendarLocked() *schedule.Calendar {
 	if !pl.calDirty && pl.cal != nil {
 		return pl.cal
 	}
-	cal := schedule.NewCalendar(pl.g.NumVertices(), pl.horizon)
+	var cal *schedule.Calendar
+	if pl.base != nil {
+		// People loaded from a dataset/snapshot keep their imported
+		// schedules underneath any later SetAvailable/SetBusy edits;
+		// the word-wise clone keeps the rebuild cheap.
+		cal = pl.base.ExtendedClone(pl.g.NumVertices())
+	} else {
+		cal = schedule.NewCalendar(pl.g.NumVertices(), pl.horizon)
+	}
 	for _, a := range pl.avail {
 		cal.SetRange(int(a.person), a.from, a.to, a.free)
 	}
@@ -171,31 +383,91 @@ func (pl *Planner) calendar() *schedule.Calendar {
 }
 
 // FromDataset wraps a generated dataset (see cmd/stgqgen and
-// internal/dataset) in a Planner.
+// internal/dataset) in a Planner. The dataset's calendar becomes the base
+// layer: later SetAvailable/SetBusy calls edit on top of it.
 func FromDataset(d *dataset.Dataset) *Planner {
-	pl := &Planner{
-		g:        d.Graph,
-		horizon:  d.Cal.Horizon(),
-		cal:      d.Cal,
-		calDirty: false,
+	return &Planner{
+		g:         d.Graph,
+		horizon:   d.Cal.Horizon(),
+		base:      d.Cal,
+		cal:       d.Cal,
+		calDirty:  false,
+		community: d.Community,
 	}
-	return pl
 }
 
-// radius extracts the feasible graph for a query.
-func (pl *Planner) radius(initiator PersonID, s int) (*socialgraph.RadiusGraph, error) {
+// Export returns a consistent point-in-time copy of the planner's state as
+// a dataset (graph deep-copied, calendar materialized), suitable for
+// serialization with dataset.Save and for round-tripping through
+// FromDataset. If onLocked is non-nil it runs while the planner lock is
+// still held, letting callers capture state that must be consistent with
+// the exported copy — the journal store uses it to pin the snapshot's
+// sequence number. Privacy policies are not part of the export.
+func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
+	pl.mu.Lock()
+	// Clone the calendar too: handing out the live cache would let a
+	// caller's SetRange edit the planner behind its lock.
+	cal := pl.calendarLocked().ExtendedClone(0)
+	g := pl.g.Clone()
+	n := pl.g.NumVertices()
+	community := make([]int, n)
+	copy(community, pl.community) // people added later default to community 0
+	if onLocked != nil {
+		onLocked()
+	}
+	pl.mu.Unlock()
+	days := 0
+	if schedule.SlotsPerDay > 0 {
+		days = (pl.horizon + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
+	}
+	return &dataset.Dataset{Graph: g, Cal: cal, Community: community, Days: days}
+}
+
+// queryView captures everything a query needs under one lock acquisition:
+// the feasible radius graph and, when withCalendar is set, the
+// initiator-visible calendar. Both are immutable, so the search itself
+// runs without holding any lock. Extraction and masking only read planner
+// state, so concurrent queries share a read lock; the write lock is taken
+// only when the calendar cache must be (re)materialized.
+func (pl *Planner) queryView(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, error) {
+	pl.mu.RLock()
+	if !withCalendar || (!pl.calDirty && pl.cal != nil) {
+		rg, cal, err := pl.viewRLocked(initiator, s, withCalendar)
+		pl.mu.RUnlock()
+		return rg, cal, err
+	}
+	pl.mu.RUnlock()
+
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.calendarLocked()
+	return pl.viewRLocked(initiator, s, withCalendar)
+}
+
+// viewRLocked builds the immutable query view. The caller holds at least
+// the read lock, and when withCalendar is set the calendar cache is
+// already materialized.
+func (pl *Planner) viewRLocked(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, error) {
 	if int(initiator) < 0 || int(initiator) >= pl.g.NumVertices() {
-		return nil, fmt.Errorf("%w: person %d", ErrPersonNotFound, initiator)
+		return nil, nil, fmt.Errorf("%w: person %d", ErrPersonNotFound, initiator)
 	}
 	if s < 1 {
-		return nil, fmt.Errorf("%w: social radius s=%d < 1", ErrBadQuery, s)
+		return nil, nil, fmt.Errorf("%w: social radius s=%d < 1", ErrBadQuery, s)
 	}
-	return pl.g.ExtractRadiusGraph(int(initiator), s)
+	rg, err := pl.g.ExtractRadiusGraph(int(initiator), s)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cal *schedule.Calendar
+	if withCalendar {
+		cal = pl.visibleCalendarLocked(initiator)
+	}
+	return rg, cal, nil
 }
 
 // FindGroup answers a social group query.
 func (pl *Planner) FindGroup(q SGQuery) (*GroupResult, error) {
-	rg, err := pl.radius(q.Initiator, q.S)
+	rg, _, err := pl.queryView(q.Initiator, q.S, false)
 	if err != nil {
 		return nil, err
 	}
@@ -217,16 +489,15 @@ func (pl *Planner) FindGroup(q SGQuery) (*GroupResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pl.groupResult(rg, grp, stats), nil
+	return groupResult(rg, grp, stats), nil
 }
 
 // PlanActivity answers a social-temporal group query.
 func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
-	rg, err := pl.radius(q.Initiator, q.S)
+	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return nil, err
 	}
-	cal := pl.visibleCalendar(q.Initiator)
 	calUser := dataset.CalUsers(rg)
 	opts := q.options()
 	var (
@@ -251,7 +522,7 @@ func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
 		return nil, err
 	}
 	return &PlanResult{
-		GroupResult: *pl.groupResult(rg, &ans.Group, stats),
+		GroupResult: *groupResult(rg, &ans.Group, stats),
 		Window:      TimeWindow{Start: ans.Interval.Start, End: ans.Interval.End + 1},
 		PivotSlot:   ans.Pivot,
 	}, nil
@@ -261,11 +532,10 @@ func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
 // against (PCArrange, Section 5.1). The result reports the observed
 // acquaintance bound k_h of the manually assembled group.
 func (pl *Planner) PlanManually(q STGQuery) (*ManualPlan, error) {
-	rg, err := pl.radius(q.Initiator, q.S)
+	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return nil, err
 	}
-	cal := pl.visibleCalendar(q.Initiator)
 	res, err := coordinate.PCArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M)
 	if err != nil {
 		return nil, err
@@ -286,23 +556,22 @@ func (pl *Planner) PlanManually(q STGQuery) (*ManualPlan, error) {
 // planner matches or beats the target total distance (typically the manual
 // plan's), returning that k and the plan.
 func (pl *Planner) PlanWithSmallestK(q STGQuery, targetDistance float64) (int, *PlanResult, error) {
-	rg, err := pl.radius(q.Initiator, q.S)
+	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return 0, nil, err
 	}
-	cal := pl.visibleCalendar(q.Initiator)
 	res, err := coordinate.STGArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M, targetDistance, q.P-1, q.options())
 	if err != nil {
 		return 0, nil, err
 	}
 	return res.K, &PlanResult{
-		GroupResult: *pl.groupResult(rg, &res.Answer.Group, core.Stats{}),
+		GroupResult: *groupResult(rg, &res.Answer.Group, core.Stats{}),
 		Window:      TimeWindow{Start: res.Answer.Interval.Start, End: res.Answer.Interval.End + 1},
 		PivotSlot:   res.Answer.Pivot,
 	}, nil
 }
 
-func (pl *Planner) groupResult(rg *socialgraph.RadiusGraph, grp *core.Group, stats core.Stats) *GroupResult {
+func groupResult(rg *socialgraph.RadiusGraph, grp *core.Group, stats core.Stats) *GroupResult {
 	members := make([]Member, len(grp.Members))
 	for i, v := range grp.Members {
 		members[i] = Member{ID: PersonID(rg.Orig[v]), Name: rg.Labels[v], Distance: rg.Dist[v]}

@@ -1,11 +1,16 @@
 package stgq_test
 
 import (
+	"bytes"
 	"errors"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	stgq "repro"
 	"repro/internal/dataset"
+	"repro/internal/schedule"
 )
 
 // examplePlanner builds the Figure 3 instance through the public API.
@@ -14,7 +19,7 @@ func examplePlanner(t testing.TB) (*stgq.Planner, map[string]stgq.PersonID) {
 	pl := stgq.NewPlanner(7)
 	ids := map[string]stgq.PersonID{}
 	for _, n := range []string{"v2", "v3", "v4", "v6", "v7", "v8"} {
-		ids[n] = pl.AddPerson(n)
+		ids[n] = pl.MustAddPerson(n)
 	}
 	conn := func(a, b string, d float64) {
 		if err := pl.Connect(ids[a], ids[b], d); err != nil {
@@ -244,5 +249,223 @@ func TestWindowFormat(t *testing.T) {
 	}
 	if w.Len() != 4 {
 		t.Error("Len wrong")
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	q := stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1}
+	before, err := pl.FindGroup(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Disconnect(ids["v2"], ids["v4"]); err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumFriendships() != 8 {
+		t.Fatalf("friendships = %d, want 8", pl.NumFriendships())
+	}
+	after, err := pl.FindGroup(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalDistance <= before.TotalDistance {
+		t.Errorf("removing an optimal edge should worsen the answer: %v vs %v",
+			after.TotalDistance, before.TotalDistance)
+	}
+	if err := pl.Disconnect(ids["v2"], ids["v4"]); err == nil {
+		t.Error("double disconnect should fail")
+	}
+}
+
+// TestMutationHook checks the observer seam: every successful mutation is
+// reported exactly once, in order, while failed mutations are not; a
+// failing wait function surfaces to the caller.
+func TestMutationHook(t *testing.T) {
+	pl := stgq.NewPlanner(8)
+	var seen []stgq.Mutation
+	var waits int
+	pl.SetMutationHook(func(m stgq.Mutation) func() error {
+		seen = append(seen, m)
+		return func() error { waits++; return nil }
+	})
+	a := pl.MustAddPerson("a")
+	b := pl.MustAddPerson("b")
+	if err := pl.Connect(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SetAvailable(a, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SetBusy(a, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Disconnect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Failed mutations must not be observed.
+	if err := pl.Connect(a, a, 1); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	if err := pl.SetAvailable(stgq.PersonID(99), 0, 1); err == nil {
+		t.Fatal("unknown person should fail")
+	}
+	wantOps := []stgq.MutationOp{
+		stgq.MutAddPerson, stgq.MutAddPerson, stgq.MutConnect,
+		stgq.MutSetAvailable, stgq.MutSetBusy, stgq.MutDisconnect,
+	}
+	if len(seen) != len(wantOps) {
+		t.Fatalf("observed %d mutations, want %d", len(seen), len(wantOps))
+	}
+	for i, m := range seen {
+		if m.Op != wantOps[i] {
+			t.Errorf("mutation %d: op %v, want %v", i, m.Op, wantOps[i])
+		}
+	}
+	if waits != len(wantOps) {
+		t.Errorf("wait called %d times, want %d", waits, len(wantOps))
+	}
+
+	// A failing wait propagates to the mutator.
+	wantErr := errors.New("fsync exploded")
+	pl.SetMutationHook(func(stgq.Mutation) func() error {
+		return func() error { return wantErr }
+	})
+	if _, err := pl.AddPerson("c"); !errors.Is(err, wantErr) {
+		t.Errorf("AddPerson err = %v, want %v", err, wantErr)
+	}
+	if err := pl.Connect(a, b, 2); !errors.Is(err, wantErr) {
+		t.Errorf("Connect err = %v, want %v", err, wantErr)
+	}
+}
+
+// TestFromDatasetThenMutate is the regression test for the base-calendar
+// bug: editing availability on a dataset-backed planner used to throw away
+// every schedule the dataset had loaded.
+func TestFromDatasetThenMutate(t *testing.T) {
+	d := dataset.Real194(42, 2)
+	pl := stgq.FromDataset(d)
+	freeBefore := countFree(d.Cal)
+	// One person cancels one evening; everyone else's schedule must stay.
+	if err := pl.SetBusy(0, 0, pl.Horizon()); err != nil {
+		t.Fatal(err)
+	}
+	got := pl.Export(nil)
+	freeAfter := countFree(got.Cal)
+	lost := freeBefore - freeAfter
+	if lost <= 0 || lost > pl.Horizon() {
+		t.Fatalf("free slots %d → %d: only person 0's slots should disappear", freeBefore, freeAfter)
+	}
+	// And a later re-grant layers on top of the dataset schedule.
+	if err := pl.SetAvailable(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if countFree(pl.Export(nil).Cal) != freeAfter+4 {
+		t.Fatal("re-granted slots not visible")
+	}
+}
+
+func countFree(c *schedule.Calendar) int {
+	total := 0
+	for u := 0; u < c.Users(); u++ {
+		row := c.Row(u)
+		for s := row.NextSet(0); s != -1; s = row.NextSet(s + 1) {
+			total++
+		}
+	}
+	return total
+}
+
+// TestExportRoundTrip: Export → dataset.Save/Load → FromDataset must
+// answer queries identically.
+func TestExportRoundTrip(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	var buf bytes.Buffer
+	if err := pl.Export(nil).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2 := stgq.FromDataset(d)
+	q := stgq.STGQuery{SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 4, S: 1, K: 1}, M: 3}
+	want, err := pl.PlanActivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl2.PlanActivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalDistance != want.TotalDistance || got.Window != want.Window {
+		t.Fatalf("round trip changed the plan: %+v vs %+v", got, want)
+	}
+	if pl2.Name(ids["v7"]) != "v7" {
+		t.Error("names lost in round trip")
+	}
+}
+
+// TestConcurrentMutationsAndQueries exercises the planner's internal
+// synchronization: parallel writers and readers must be race-free and
+// every query must see a consistent snapshot (run under -race).
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	pl, ids := examplePlanner(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				switch i % 3 {
+				case 0:
+					pl.MustAddPerson("")
+				case 1:
+					_ = pl.Connect(ids["v2"], ids["v3"], float64(1+i%9))
+				default:
+					_ = pl.SetAvailable(ids["v4"], 0, 7)
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := pl.PlanActivity(stgq.STGQuery{
+					SGQuery: stgq.SGQuery{Initiator: ids["v7"], P: 3, S: 1, K: 1},
+					M:       2,
+				})
+				if err != nil && !errors.Is(err, stgq.ErrNoFeasibleGroup) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let writers and readers overlap
+	close(stop)
+	wg.Wait()
+}
+
+func TestAddPersonNameCap(t *testing.T) {
+	pl := stgq.NewPlanner(8)
+	if _, err := pl.AddPerson(strings.Repeat("x", stgq.MaxNameLen+1)); !errors.Is(err, stgq.ErrBadQuery) {
+		t.Fatalf("oversized name: err = %v, want ErrBadQuery", err)
+	}
+	if pl.NumPeople() != 0 {
+		t.Fatal("oversized name must not register anyone")
+	}
+	if _, err := pl.AddPerson(strings.Repeat("x", 100)); err != nil {
+		t.Fatal(err)
 	}
 }

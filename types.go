@@ -17,6 +17,8 @@ var (
 	ErrBadQuery = core.ErrBadParams
 	// ErrPersonNotFound: unknown PersonID or name.
 	ErrPersonNotFound = errors.New("stgq: person not found")
+	// ErrNotFriends: Disconnect of a friendship that does not exist.
+	ErrNotFriends = errors.New("stgq: not friends")
 	// ErrCannotCoordinate: the manual-coordination simulation failed to
 	// assemble a group.
 	ErrCannotCoordinate = coordinate.ErrCannotCoordinate
