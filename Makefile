@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./ ./internal/journal/ ./internal/service/
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,10 +1,12 @@
 // Command stgqd serves the activity planner over HTTP — the "value-added
 // service" deployment of the paper's conclusion. Start empty, preloaded
-// with a dataset file, or durable:
+// with a dataset file, durable, or as a read replica of another stgqd:
 //
 //	stgqd -addr :8080
 //	stgqd -addr :8080 -data real194.json
 //	stgqd -addr :8080 -data-dir /var/lib/stgqd
+//	stgqd -addr :8080 -data-dir /var/lib/stgqd -data real194.json
+//	stgqd -addr :8081 -data-dir /var/lib/stgqd-replica -follow http://leader:8080
 //
 // Then, for example:
 //
@@ -16,8 +18,17 @@
 // into a snapshot every -snapshot-every mutations (plus once on clean
 // shutdown). Restarting with the same -data-dir recovers the full state —
 // including after a kill -9, which at worst truncates a torn final record
-// that was never acknowledged. SIGINT/SIGTERM drain in-flight requests,
+// that was never acknowledged. Combining -data with -data-dir bulk-imports
+// the dataset as the durable store's initial snapshot; a non-empty store
+// is never overwritten (the import is skipped with a warning, so restarts
+// with the same command line come back up). SIGINT/SIGTERM drain in-flight requests,
 // flush the journal and write a final snapshot before exiting.
+//
+// With -follow the server is a read-only follower: it replicates the
+// leader's journal over GET /replication/stream into its own -data-dir,
+// serves queries from the replayed state, and rejects mutations with 403
+// plus a leader redirect hint (-advertise overrides the advertised URL).
+// A follower restarted with the same -data-dir resumes from its own disk.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,28 +47,92 @@ import (
 	stgq "repro"
 	"repro/internal/dataset"
 	"repro/internal/journal"
+	"repro/internal/replica"
 	"repro/internal/service"
 )
 
+// loadDataset reads a dataset JSON file.
+func loadDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(f)
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		data     = flag.String("data", "", "optional dataset JSON to preload (in-memory mode only)")
-		horizon  = flag.Int("horizon", 7*stgq.SlotsPerDay, "schedule horizon in slots (empty start only)")
-		dataDir  = flag.String("data-dir", "", "directory for the durable journal + snapshots (empty: in-memory)")
-		snapEach = flag.Int("snapshot-every", journal.DefaultSnapshotEvery, "mutations between automatic snapshots")
-		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "dataset JSON to preload (with -data-dir: bulk-import into an empty store)")
+		horizon   = flag.Int("horizon", 7*stgq.SlotsPerDay, "schedule horizon in slots (empty start only)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable journal + snapshots (empty: in-memory)")
+		snapEach  = flag.Int("snapshot-every", journal.DefaultSnapshotEvery, "mutations between automatic snapshots")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		follow    = flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
+		advertise = flag.String("advertise", "", "write-endpoint URL advertised to clients (follower default: the -follow URL)")
 	)
 	flag.Parse()
 
 	var (
-		srv   *service.Server
-		store *journal.Store
+		srv          *service.Server
+		store        *journal.Store
+		follower     *replica.Follower
+		followerDone chan struct{}
 	)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	switch {
+	case *follow != "":
+		if *dataDir == "" {
+			log.Fatal("stgqd: -follow requires -data-dir (the follower keeps its own durable copy)")
+		}
+		if *data != "" {
+			log.Fatal("stgqd: -data cannot be combined with -follow (the follower's state comes from the leader)")
+		}
+		var err error
+		follower, err = replica.NewFollower(replica.Config{
+			LeaderURL: *follow,
+			Dir:       *dataDir,
+			Store: journal.Options{
+				HorizonSlots:  *horizon,
+				SnapshotEvery: *snapEach,
+			},
+		})
+		if err != nil {
+			log.Fatalf("stgqd: %v", err)
+		}
+		hint := *advertise
+		if hint == "" {
+			hint = *follow
+		}
+		srv = service.NewFollower(follower, hint)
+		followerDone = make(chan struct{})
+		go func() {
+			follower.Run(ctx)
+			close(followerDone)
+		}()
+		fmt.Printf("stgqd: following %s (applied seq %d from %s)\n",
+			*follow, follower.Status().AppliedSeq, *dataDir)
 	case *dataDir != "":
 		if *data != "" {
-			log.Fatal("stgqd: -data and -data-dir are mutually exclusive (import a dataset once with the HTTP API instead)")
+			d, err := loadDataset(*data)
+			if err != nil {
+				log.Fatalf("stgqd: %v", err)
+			}
+			switch err := journal.ImportDataset(*dataDir, d); {
+			case errors.Is(err, journal.ErrNotEmpty):
+				// The import is refused rather than overwriting, but a
+				// restart with the same command line must come back up:
+				// serve the state the store already holds.
+				log.Printf("stgqd: skipping -data import: %v (serving existing state)", err)
+			case err != nil:
+				log.Fatalf("stgqd: import: %v", err)
+			default:
+				fmt.Printf("stgqd: imported %d people, %d friendships into %s\n",
+					d.Graph.NumVertices(), d.Graph.NumEdges(), *dataDir)
+			}
 		}
 		var err error
 		store, err = journal.Open(*dataDir, journal.Options{
@@ -71,12 +147,7 @@ func main() {
 			rec.People, rec.Friendships, *dataDir, rec.SnapshotSeq, rec.ReplayedRecords, rec.TruncatedBytes)
 		srv = service.NewWithStore(store)
 	case *data != "":
-		f, err := os.Open(*data)
-		if err != nil {
-			log.Fatalf("stgqd: %v", err)
-		}
-		d, err := dataset.Load(f)
-		f.Close()
+		d, err := loadDataset(*data)
 		if err != nil {
 			log.Fatalf("stgqd: %v", err)
 		}
@@ -87,14 +158,21 @@ func main() {
 		srv = service.New(*horizon)
 	}
 
+	// Replication streams long-poll for up to their MaxConnected; during
+	// shutdown they must end immediately or the graceful drain would
+	// always stall for the full -drain-timeout while followers are
+	// connected. Cancelling the server's base context cancels every
+	// request context (ending the streamers' WaitDurable); the query and
+	// mutation handlers never read their contexts, so in-flight requests
+	// still drain normally.
+	reqCtx, stopStreams := context.WithCancel(context.Background())
+	defer stopStreams()
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return reqCtx },
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -107,6 +185,9 @@ func main() {
 		if store != nil {
 			store.Close()
 		}
+		if follower != nil {
+			follower.Close()
+		}
 		log.Fatalf("stgqd: %v", err)
 	case <-ctx.Done():
 	}
@@ -115,6 +196,7 @@ func main() {
 	// Drain in-flight queries, then flush the journal and write the final
 	// snapshot so the next boot replays nothing.
 	fmt.Println("stgqd: shutting down")
+	stopStreams()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -127,6 +209,14 @@ func main() {
 		// boot replays it.
 		if err := store.Close(); err != nil {
 			log.Printf("stgqd: journal close: %v (journal remains authoritative)", err)
+		}
+	}
+	if follower != nil {
+		// The replication loop saw the same ctx cancellation; wait for
+		// it to unwind before closing the follower's store.
+		<-followerDone
+		if err := follower.Close(); err != nil {
+			log.Printf("stgqd: follower close: %v (journal remains authoritative)", err)
 		}
 	}
 	fmt.Println("stgqd: bye")

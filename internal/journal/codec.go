@@ -180,8 +180,20 @@ func containsValidFrame(data []byte) bool {
 // consumed < len(data) means the remainder is a torn or corrupt tail; the
 // caller decides whether that is tolerable (final segment) or fatal.
 func scanFrames(data []byte) (recs []Record, consumed int) {
+	return scanFramesLimit(data, math.MaxUint64, 0)
+}
+
+// scanFramesLimit is scanFrames bounded for incremental tailing: it stops
+// (without consuming) before the first frame whose sequence number exceeds
+// maxSeq — a frame written but, as of the caller's durability watermark,
+// not yet fsynced — and after maxCount frames (0: unlimited), so consumed
+// always counts exactly the returned frames' bytes.
+func scanFramesLimit(data []byte, maxSeq uint64, maxCount int) (recs []Record, consumed int) {
 	off := 0
 	for off+headerSize <= len(data) {
+		if maxCount > 0 && len(recs) >= maxCount {
+			break
+		}
 		length := int(binary.LittleEndian.Uint32(data[off:]))
 		if length > maxPayload || off+headerSize+length > len(data) {
 			break
@@ -193,6 +205,9 @@ func scanFrames(data []byte) (recs []Record, consumed int) {
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
+			break
+		}
+		if rec.Seq > maxSeq {
 			break
 		}
 		recs = append(recs, rec)

@@ -1,0 +1,156 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestImportDatasetIntoEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	ds := dataset.Real194(42, 7)
+	if err := ImportDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{HorizonSlots: 1}) // ignored: the import pinned the horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := s.Planner()
+	if pl.NumPeople() != ds.Graph.NumVertices() || pl.NumFriendships() != ds.Graph.NumEdges() {
+		t.Fatalf("imported %d/%d, want %d/%d",
+			pl.NumPeople(), pl.NumFriendships(), ds.Graph.NumVertices(), ds.Graph.NumEdges())
+	}
+	if pl.Horizon() != ds.Cal.Horizon() {
+		t.Fatalf("horizon %d, want %d", pl.Horizon(), ds.Cal.Horizon())
+	}
+	// The imported store journals on top of the snapshot and recovers.
+	if _, err := pl.AddPerson("latecomer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Planner().NumPeople(); got != ds.Graph.NumVertices()+1 {
+		t.Fatalf("restart lost the post-import mutation: %d people", got)
+	}
+}
+
+func TestImportDatasetRefusesNonEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{HorizonSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Planner().AddPerson("resident"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportDataset(dir, dataset.Real194(42, 7)); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("import into a non-empty store: want ErrNotEmpty, got %v", err)
+	}
+	// A merely-created durable dir (meta only, no mutations) is also
+	// refused: its horizon is already pinned.
+	dir2 := t.TempDir()
+	s2, err := Open(dir2, Options{HorizonSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportDataset(dir2, dataset.Real194(42, 7)); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("import over an initialized store: want ErrNotEmpty, got %v", err)
+	}
+}
+
+// TestInterruptedResetIsDiscarded pins the crash contract of
+// ResetFromSnapshot: state found next to a leftover RESETTING marker —
+// half-wiped old files or a seed whose marker removal never landed — is
+// condemned, detectable via ResetPending and discarded by AbortReset,
+// never resumed from.
+func TestInterruptedResetIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{HorizonSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Planner().AddPerson("diverged"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash right after the marker became durable: old state
+	// still fully present.
+	if err := os.WriteFile(filepath.Join(dir, resetMarkerName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !ResetPending(dir) {
+		t.Fatal("marker not detected")
+	}
+	if err := AbortReset(dir); err != nil {
+		t.Fatal(err)
+	}
+	if ResetPending(dir) {
+		t.Fatal("marker survived AbortReset")
+	}
+	empty, err := storeEmpty(dir)
+	if err != nil || !empty {
+		t.Fatalf("condemned state survived AbortReset (empty=%v, err=%v)", empty, err)
+	}
+	// And a completed reset leaves no marker behind.
+	if err := ResetFromSnapshot(dir, 9, dataset.Real194(42, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if ResetPending(dir) {
+		t.Fatal("marker survived a completed reset")
+	}
+}
+
+func TestResetFromSnapshotReplacesState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{HorizonSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Planner().AddPerson("old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := dataset.Real194(7, 7)
+	if err := ResetFromSnapshot(dir, 123, ds); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Planner().NumPeople(); got != ds.Graph.NumVertices() {
+		t.Fatalf("reset store has %d people, want %d", got, ds.Graph.NumVertices())
+	}
+	if got := s2.LastSeq(); got != 123 {
+		t.Fatalf("reset store resumes at seq %d, want 123", got)
+	}
+	// New mutations continue the leader's numbering.
+	if _, err := s2.Planner().AddPerson("next"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.LastSeq(); got != 124 {
+		t.Fatalf("post-reset mutation got seq %d, want 124", got)
+	}
+}

@@ -89,6 +89,21 @@ type Store struct {
 	closed    atomic.Bool
 
 	snapMu sync.Mutex // serializes snapshot/compaction cycles
+
+	// The automatic snapshot cycle runs on its own goroutine so no HTTP
+	// writer ever pays the export + fsync + compaction latency: crossing
+	// the SnapshotEvery threshold only pokes snapTrigger.
+	snapTrigger chan struct{} // buffered(1): threshold crossed
+	snapStop    chan struct{} // closed by Close: loop must exit
+	snapDone    chan struct{} // closed by the loop on exit
+
+	durNotify notifier      // broadcast after each durable commit (WaitDurable)
+	closeCh   chan struct{} // closed by Close: unblocks WaitDurable
+
+	// afterExport, when non-nil, runs inside the snapshot cycle right
+	// after the planner export (planner lock released, snapMu held).
+	// Test seam: lets tests hold a snapshot open mid-cycle.
+	afterExport func()
 }
 
 // Open recovers the planner persisted in dir (creating the directory if
@@ -100,7 +115,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.SnapshotEvery == 0 {
 		opts.SnapshotEvery = DefaultSnapshotEvery
 	}
-	s := &Store{dir: dir, opts: opts}
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		snapTrigger: make(chan struct{}, 1),
+		snapStop:    make(chan struct{}),
+		snapDone:    make(chan struct{}),
+		closeCh:     make(chan struct{}),
+	}
 
 	// 0. Exclude other processes: two appenders interleaving sequence
 	// numbers in one journal would corrupt it beyond recovery.
@@ -175,9 +197,38 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.b = NewBatcher(s.log, opts.MaxBatch, opts.MaxWait)
 
-	// 4. From here on, every mutation is journaled.
+	// 4. From here on, every mutation is journaled, and snapshot cycles
+	// run on their own goroutine so no mutating caller pays for them.
+	go s.snapshotLoop()
 	s.pl.SetMutationHook(s.onMutation)
 	return s, nil
+}
+
+// snapshotLoop runs automatic snapshot cycles off the write path. It
+// exits when Close closes snapStop.
+func (s *Store) snapshotLoop() {
+	defer close(s.snapDone)
+	for {
+		select {
+		case <-s.snapTrigger:
+			if s.opts.SnapshotEvery <= 0 {
+				continue
+			}
+			s.snapMu.Lock()
+			// Re-check under the mutex: a cycle that just finished (or a
+			// manual Snapshot call) may have reset the counter already.
+			if s.sinceSnap.Load() >= int64(s.opts.SnapshotEvery) {
+				if err := s.snapshotLocked(); err != nil {
+					s.snapErr.Store(err.Error())
+				} else {
+					s.snapErr.Store("")
+				}
+			}
+			s.snapMu.Unlock()
+		case <-s.snapStop:
+			return
+		}
+	}
 }
 
 // replayDir scans dir's segments in order and applies every record with
@@ -286,21 +337,18 @@ func (s *Store) onMutation(m stgq.Mutation) func() error {
 		if err := <-ack; err != nil {
 			return fmt.Errorf("%w: %v: %w", ErrNotDurable, m.Op, err)
 		}
+		// Wake tailing readers (replication streamers) now that the
+		// record is durable.
+		s.durNotify.broadcast()
 		if s.opts.SnapshotEvery > 0 && s.sinceSnap.Add(1) >= int64(s.opts.SnapshotEvery) {
-			// Opportunistic: one of the concurrent writers pays for the
-			// snapshot; the others skip past the held mutex. A snapshot
+			// Poke the snapshot goroutine and move on: no writer ever
+			// pays the export + fsync + compaction latency. A snapshot
 			// failure is background-maintenance trouble, not this
 			// caller's — the mutation is already journaled and durable —
-			// so it is recorded in Stats rather than returned.
-			if s.snapMu.TryLock() {
-				if s.sinceSnap.Load() >= int64(s.opts.SnapshotEvery) {
-					if err := s.snapshotLocked(); err != nil {
-						s.snapErr.Store(err.Error())
-					} else {
-						s.snapErr.Store("")
-					}
-				}
-				s.snapMu.Unlock()
+			// so the loop records it in Stats rather than returning it.
+			select {
+			case s.snapTrigger <- struct{}{}:
+			default: // a trigger is already pending
 			}
 		}
 		return nil
@@ -369,6 +417,9 @@ func (s *Store) snapshotLocked() error {
 		rejected = s.rejected.Load() // exact: the rejecting hook runs under the same lock
 	})
 	s.sinceSnap.Store(0)
+	if s.afterExport != nil {
+		s.afterExport()
+	}
 	if rejected > 0 {
 		// A close-straggler mutated the planner without a journal
 		// record; exporting would resurrect a write whose caller was
@@ -431,6 +482,12 @@ func (s *Store) Close() error {
 		s.rejected.Add(1)
 		return func() error { return fmt.Errorf("%w: store closing", ErrNotDurable) }
 	})
+	// Unblock tailing readers and stop the background snapshot goroutine
+	// before the final cycle so the two never interleave.
+	close(s.closeCh)
+	s.durNotify.broadcast()
+	close(s.snapStop)
+	<-s.snapDone
 	var firstErr error
 	if err := s.b.Close(); err != nil {
 		firstErr = err

@@ -1,0 +1,354 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stgq "repro"
+	"repro/internal/dataset"
+	"repro/internal/journal"
+)
+
+// Follower reconnect backoff bounds (exponential between them).
+const (
+	DefaultMinBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff = 5 * time.Second
+)
+
+// Config describes a follower.
+type Config struct {
+	// LeaderURL is the leader's base URL (e.g. http://leader:8080); the
+	// stream endpoint path is appended.
+	LeaderURL string
+	// Dir is the follower's own data dir. Applied records are journaled
+	// into it, so a restarted (or promoted) follower recovers from its
+	// own disk.
+	Dir string
+	// Store tunes the follower's journal store. MaxWait defaults to
+	// 100µs rather than the store's own default: the applier is a single
+	// serial writer, so group-commit batching buys nothing and its timer
+	// would put a per-record latency floor under catch-up.
+	Store journal.Options
+	// Client issues the stream requests; http.DefaultClient (no timeout,
+	// as a long-poll needs) when nil.
+	Client *http.Client
+	// MinBackoff/MaxBackoff bound the reconnect backoff after errors.
+	MinBackoff, MaxBackoff time.Duration
+}
+
+// Status is a point-in-time view of replication progress, exposed by the
+// follower service's GET /status.
+type Status struct {
+	Leader     string `json:"leader"`
+	Connected  bool   `json:"connected"`
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// LeaderSeq is the leader's durable sequence number as of the last
+	// record or heartbeat received.
+	LeaderSeq  uint64 `json:"leaderSeq"`
+	LagRecords uint64 `json:"lagRecords"`
+	// LagSeconds is the time since the leader was last heard from
+	// (records or heartbeats); -1 before the first contact.
+	LagSeconds float64 `json:"lagSeconds"`
+	Reconnects uint64  `json:"reconnects"`
+	Bootstraps uint64  `json:"bootstraps"`
+	LastError  string  `json:"lastError,omitempty"`
+}
+
+// Follower replicates a leader's journal into its own durable store and
+// exposes the replayed planner for read-only queries. Create with
+// NewFollower, drive with Run, serve queries via Planner.
+type Follower struct {
+	cfg    Config
+	client *http.Client
+
+	mu sync.RWMutex // guards st (swapped on snapshot bootstrap)
+	st *journal.Store
+
+	connected   atomic.Bool
+	applied     atomic.Uint64
+	leaderSeq   atomic.Uint64
+	lastContact atomic.Int64 // unix nanos; 0 = never
+	reconnects  atomic.Uint64
+	bootstraps  atomic.Uint64
+	lastErr     atomic.Value // string
+	// forceBootstrap requests a snapshot reset on the next connect —
+	// set when local apply diverges from the leader's history.
+	forceBootstrap atomic.Bool
+	closed         atomic.Bool
+}
+
+// NewFollower opens (or recovers) the follower's own store in cfg.Dir and
+// returns the follower. Run starts replication; until then the follower
+// serves whatever its own disk held.
+func NewFollower(cfg Config) (*Follower, error) {
+	if cfg.LeaderURL == "" {
+		return nil, errors.New("replica: missing leader URL")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("replica: missing data dir")
+	}
+	if cfg.Store.MaxWait == 0 {
+		cfg.Store.MaxWait = 100 * time.Microsecond
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultMinBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if journal.ResetPending(cfg.Dir) {
+		// A previous snapshot bootstrap was interrupted mid-reset; what
+		// the dir holds is neither the old state (condemned) nor a
+		// complete seed. Discard it and bootstrap afresh.
+		if err := journal.AbortReset(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	st, err := journal.Open(cfg.Dir, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{cfg: cfg, client: cfg.Client, st: st}
+	if f.client == nil {
+		f.client = http.DefaultClient
+	}
+	f.applied.Store(st.LastSeq())
+	if rec := st.Recovery(); st.LastSeq() == 0 && rec.SnapshotSeq == 0 && rec.People == 0 {
+		// A brand-new follower syncs its initial state from a leader
+		// snapshot rather than replaying the whole journal record by
+		// record (each one fsynced locally) — and adopts the leader's
+		// schedule horizon with it, which cfg.Store cannot know.
+		f.forceBootstrap.Store(true)
+	}
+	return f, nil
+}
+
+// Planner returns the current replayed planner. The pointer is swapped on
+// snapshot bootstrap, so callers must fetch it per request, not cache it.
+func (f *Follower) Planner() *stgq.Planner { return f.store().Planner() }
+
+// JournalStats returns the follower's own journal statistics.
+func (f *Follower) JournalStats() journal.Stats { return f.store().Stats() }
+
+func (f *Follower) store() *journal.Store {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.st
+}
+
+// Status reports replication progress.
+func (f *Follower) Status() Status {
+	applied := f.applied.Load()
+	leader := f.leaderSeq.Load()
+	lag := uint64(0)
+	if leader > applied {
+		lag = leader - applied
+	}
+	lagSec := -1.0
+	if t := f.lastContact.Load(); t > 0 {
+		lagSec = time.Since(time.Unix(0, t)).Seconds()
+	}
+	s := Status{
+		Leader:     f.cfg.LeaderURL,
+		Connected:  f.connected.Load(),
+		AppliedSeq: applied,
+		LeaderSeq:  leader,
+		LagRecords: lag,
+		LagSeconds: lagSec,
+		Reconnects: f.reconnects.Load(),
+		Bootstraps: f.bootstraps.Load(),
+	}
+	if v, ok := f.lastErr.Load().(string); ok {
+		s.LastError = v
+	}
+	return s
+}
+
+// Run replicates until ctx is cancelled, reconnecting with exponential
+// backoff after errors (a stream the leader closed cleanly reconnects
+// immediately, without counting toward the Reconnects metric). Call Close
+// afterwards to close the follower's store.
+func (f *Follower) Run(ctx context.Context) {
+	backoff := f.cfg.MinBackoff
+	for ctx.Err() == nil && !f.closed.Load() {
+		err := f.streamOnce(ctx)
+		f.connected.Store(false)
+		if err == nil {
+			// Clean leader-side close (stream rotation) or a completed
+			// bootstrap: normal operation, not a failure — reset the
+			// failure state so /status reads healthy.
+			backoff = f.cfg.MinBackoff
+			f.lastErr.Store("")
+			continue
+		}
+		if ctx.Err() != nil || f.closed.Load() {
+			return
+		}
+		f.lastErr.Store(err.Error())
+		f.reconnects.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+		backoff = min(backoff*2, f.cfg.MaxBackoff)
+	}
+}
+
+// streamOnce opens one stream and consumes it to the end. A nil return is
+// a clean leader-side close (reconnect immediately); errors back off.
+func (f *Follower) streamOnce(ctx context.Context) error {
+	after := f.store().LastSeq()
+	url := f.cfg.LeaderURL + "/replication/stream?after=" + strconv.FormatUint(after, 10)
+	if f.forceBootstrap.Load() {
+		url += "&bootstrap=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: leader returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var hdr wireMsg
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("replica: stream header: %w", err)
+	}
+	f.touch()
+	switch hdr.Kind {
+	case kindSnapshot:
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("replica: snapshot frame: %w", err)
+		}
+		ds, err := dataset.Load(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("replica: snapshot: %w", err)
+		}
+		if err := f.resetFromSnapshot(hdr.Seq, ds); err != nil {
+			return err
+		}
+		f.forceBootstrap.Store(false)
+		f.bootstraps.Add(1)
+		f.noteLeaderSeq(hdr.Seq)
+		return nil // reconnect immediately; the next stream sends the tail
+	case kindRecords:
+		f.connected.Store(true)
+		f.noteLeaderSeq(hdr.Seq)
+		for {
+			var msg wireMsg
+			if err := dec.Decode(&msg); err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return nil // leader closed the stream (MaxConnected)
+				}
+				return err
+			}
+			f.touch()
+			switch msg.Kind {
+			case kindHeartbeat:
+				f.noteLeaderSeq(msg.Seq)
+			case kindRecord:
+				if err := f.applyWire(msg); err != nil {
+					return err
+				}
+			case kindError:
+				return fmt.Errorf("replica: leader: %s", msg.Err)
+			default:
+				return fmt.Errorf("replica: unexpected frame kind %q", msg.Kind)
+			}
+		}
+	default:
+		return fmt.Errorf("replica: unexpected stream header kind %q", hdr.Kind)
+	}
+}
+
+// applyWire applies one record frame to the follower's planner (and,
+// through the store's mutation hook, its own journal). Records at or
+// below the applied position — duplicates after a reconnect — are
+// skipped; a gap or a divergent apply forces a snapshot bootstrap on the
+// next connect.
+func (f *Follower) applyWire(msg wireMsg) error {
+	st := f.store()
+	applied := st.LastSeq()
+	if msg.Seq <= applied {
+		return nil
+	}
+	if msg.Seq != applied+1 {
+		return fmt.Errorf("replica: sequence gap: applied %d, leader sent %d", applied, msg.Seq)
+	}
+	if err := journal.Apply(st.Planner(), fromWire(msg)); err != nil {
+		// Divergence from the leader's history (or a local journal
+		// failure mid-apply): the local state can no longer be trusted
+		// to be a prefix, so rebuild from a leader snapshot.
+		f.forceBootstrap.Store(true)
+		return err
+	}
+	if got := st.LastSeq(); got != msg.Seq {
+		f.forceBootstrap.Store(true)
+		return fmt.Errorf("replica: local store assigned seq %d for leader record %d", got, msg.Seq)
+	}
+	f.applied.Store(msg.Seq)
+	f.noteLeaderSeq(msg.Seq)
+	return nil
+}
+
+// resetFromSnapshot replaces the follower's store with the leader's
+// snapshot at seq.
+func (f *Follower) resetFromSnapshot(seq uint64, ds *dataset.Dataset) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed.Load() {
+		return journal.ErrClosed
+	}
+	// A close error cannot stop the reset: the local state is being
+	// discarded either way.
+	_ = f.st.Close()
+	if err := journal.ResetFromSnapshot(f.cfg.Dir, seq, ds); err != nil {
+		return err
+	}
+	st, err := journal.Open(f.cfg.Dir, f.cfg.Store)
+	if err != nil {
+		return err
+	}
+	f.st = st
+	f.applied.Store(st.LastSeq())
+	return nil
+}
+
+func (f *Follower) touch() { f.lastContact.Store(time.Now().UnixNano()) }
+
+func (f *Follower) noteLeaderSeq(seq uint64) {
+	for {
+		cur := f.leaderSeq.Load()
+		if seq <= cur || f.leaderSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Close stops accepting replicated records and closes the follower's
+// store. Cancel Run's context first; Close does not wait for it.
+func (f *Follower) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.Close()
+}

@@ -1,0 +1,127 @@
+// Package replica is the journal-shipping replication subsystem: a leader
+// streams its committed journal records to followers, which replay them
+// into their own durable stores and serve read-only query traffic. SGQ and
+// STGQ queries are read-heavy, NP-hard searches that dwarf mutation cost —
+// the classic case for read replicas — and the journal's total order of
+// sequence numbers makes the replication stream trivial to define: a
+// follower at sequence number n needs exactly the committed records n+1,
+// n+2, … .
+//
+// # Topology
+//
+//	writers ──► leader stgqd ──(WAL + snapshots)──► data dir
+//	                 │ GET /replication/stream?after=n   (long-poll, ndjson)
+//	     ┌───────────┼───────────┐
+//	     ▼           ▼           ▼
+//	 follower    follower    follower      each: own data dir, read-only
+//	 /query/*    /query/*    /query/*      HTTP service, 403 + leader
+//	                                       hint on mutations
+//
+// The leader side (Streamer) serves committed records straight from the
+// journal's segment files — tailing shares no locks with the write path.
+// When a follower's position has been compacted away (the leader folded it
+// into a snapshot and deleted the segments), the stream opens with a
+// snapshot bootstrap instead and the follower resets its store from it.
+//
+// The follower side (Follower) applies each record through the same
+// journal.Apply path recovery uses, with its own journal store's mutation
+// hook installed — so every applied record is re-journaled and fsynced
+// locally, and a restarted (or promoted) follower recovers from its own
+// disk without re-bootstrapping from the leader.
+//
+// # Consistency model
+//
+// Replication is asynchronous: the leader acknowledges writes after its
+// own fsync, not the followers'. Each follower applies records in
+// sequence-number order, so it always holds a prefix of the leader's
+// history — reads are monotonic and prefix-consistent per follower, merely
+// stale. Staleness is observable: Follower.Status reports the applied and
+// leader sequence numbers, the record lag and the time since the leader
+// was last heard from (heartbeats bound it even when idle).
+//
+// # Wire protocol
+//
+// One HTTP GET per stream, newline-delimited JSON frames:
+//
+//	→ GET /replication/stream?after=<seq>[&bootstrap=1]
+//	← {"k":"records","after":<seq>,"seq":<leaderDurable>}   header, then
+//	← {"k":"r","seq":125,"op":2,"a":3,"b":9,"d":4.5}        record frames
+//	← {"k":"hb","seq":<leaderDurable>}                      idle heartbeats
+//
+// or, when the position is compacted (or a bootstrap is forced):
+//
+//	← {"k":"snapshot","seq":<snapSeq>}                      header, then
+//	← <dataset JSON>                                        one frame
+//
+// The leader closes every stream after MaxConnected; followers reconnect
+// (with backoff after errors) and resume from their own last sequence
+// number, so a dropped connection can at worst duplicate records, which
+// the follower skips.
+package replica
+
+import (
+	stgq "repro"
+	"repro/internal/journal"
+)
+
+// Frame kinds of the ndjson stream.
+const (
+	kindRecords   = "records"  // header: record frames follow
+	kindSnapshot  = "snapshot" // header: one dataset JSON frame follows
+	kindRecord    = "r"
+	kindHeartbeat = "hb"
+	kindError     = "err"
+)
+
+// wireMsg is one ndjson frame — a union of the header, record, heartbeat
+// and error shapes (the dataset frame of a snapshot stream is raw dataset
+// JSON instead). Zero-valued fields round-trip through omitempty safely:
+// person 0 and distance 0 decode back to their zero values.
+type wireMsg struct {
+	Kind  string `json:"k"`
+	After uint64 `json:"after,omitempty"` // kindRecords: resume position
+	Seq   uint64 `json:"seq,omitempty"`   // record/snapshot seq; hb/header: leader durable seq
+	Err   string `json:"err,omitempty"`
+
+	// Record payload (kindRecord), mirroring stgq.Mutation.
+	Op   uint8   `json:"op,omitempty"`
+	Name string  `json:"name,omitempty"`
+	P    int     `json:"p,omitempty"`
+	A    int     `json:"a,omitempty"`
+	B    int     `json:"b,omitempty"`
+	D    float64 `json:"d,omitempty"`
+	From int     `json:"from,omitempty"`
+	To   int     `json:"to,omitempty"`
+}
+
+func toWire(rec journal.Record) wireMsg {
+	m := rec.Mut
+	return wireMsg{
+		Kind: kindRecord,
+		Seq:  rec.Seq,
+		Op:   uint8(m.Op),
+		Name: m.Name,
+		P:    int(m.Person),
+		A:    int(m.A),
+		B:    int(m.B),
+		D:    m.Distance,
+		From: m.From,
+		To:   m.To,
+	}
+}
+
+func fromWire(w wireMsg) journal.Record {
+	return journal.Record{
+		Seq: w.Seq,
+		Mut: stgq.Mutation{
+			Op:       stgq.MutationOp(w.Op),
+			Name:     w.Name,
+			Person:   stgq.PersonID(w.P),
+			A:        stgq.PersonID(w.A),
+			B:        stgq.PersonID(w.B),
+			Distance: w.D,
+			From:     w.From,
+			To:       w.To,
+		},
+	}
+}

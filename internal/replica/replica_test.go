@@ -1,0 +1,423 @@
+package replica_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stgq "repro"
+	"repro/internal/journal"
+	"repro/internal/replica"
+	"repro/internal/service"
+)
+
+// leaderHarness bundles a durable leader and its HTTP server.
+type leaderHarness struct {
+	st *journal.Store
+	ts *httptest.Server
+}
+
+func startLeader(t *testing.T, dir string, opts journal.Options) *leaderHarness {
+	t.Helper()
+	st, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewWithStore(st))
+	t.Cleanup(func() {
+		// Store first: closing it ends any in-flight replication
+		// long-poll, which ts.Close would otherwise wait out (up to the
+		// streamer's MaxConnected) regardless of cleanup ordering.
+		st.Close()
+		ts.Close()
+	})
+	return &leaderHarness{st: st, ts: ts}
+}
+
+// followerHarness bundles a follower, its HTTP server and its lifecycle.
+type followerHarness struct {
+	fo   *replica.Follower
+	ts   *httptest.Server
+	stop func() // cancels Run, waits for it, closes the follower
+}
+
+func startFollower(t *testing.T, dir, leaderURL string) *followerHarness {
+	t.Helper()
+	fo, err := replica.NewFollower(replica.Config{
+		LeaderURL:  leaderURL,
+		Dir:        dir,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewFollower(fo, leaderURL))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		fo.Run(ctx)
+		close(done)
+	}()
+	stopped := false
+	h := &followerHarness{fo: fo, ts: ts, stop: nil}
+	h.stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		<-done
+		ts.Close()
+		if err := fo.Close(); err != nil {
+			t.Errorf("follower close: %v", err)
+		}
+	}
+	t.Cleanup(h.stop)
+	return h
+}
+
+// waitCaughtUp blocks until the follower has applied every record the
+// leader assigned.
+func waitCaughtUp(t *testing.T, fo *replica.Follower, leader *journal.Store) {
+	t.Helper()
+	target := leader.LastSeq()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if fo.Status().AppliedSeq >= target {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at seq %d, leader at %d (status %+v)",
+		fo.Status().AppliedSeq, target, fo.Status())
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// buildPopulation drives n people with a well-connected core onto the
+// leader's planner (journaled through the store's mutation hook).
+func buildPopulation(t *testing.T, pl *stgq.Planner, n int) {
+	t.Helper()
+	ids := make([]stgq.PersonID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := pl.AddPerson(fmt.Sprintf("p%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		for j := i - 3; j < i; j++ {
+			if j < 0 {
+				continue
+			}
+			if err := pl.Connect(ids[j], id, float64(1+(i+j)%7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pl.SetAvailable(id, (i%3)*2, 10+(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// planOn runs the same STGQ on a server and returns the raw response body.
+func planOn(t *testing.T, ts *httptest.Server, initiator int) []byte {
+	t.Helper()
+	resp, body := post(t, ts, "/query/activity", map[string]any{
+		"initiator": initiator, "p": 4, "s": 2, "k": 1, "m": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("activity query: status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestLeaderFollowerEndToEnd is the acceptance scenario: mutations driven
+// on the leader (over HTTP and through the durable planner) become
+// visible on the follower, which answers PlanActivity identically once
+// lag reaches zero — including after a follower restart from its own
+// data dir.
+func TestLeaderFollowerEndToEnd(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, leader.ts.URL)
+
+	// Mutations over the leader's HTTP API...
+	for i, name := range []string{"ana", "bo", "cy", "di"} {
+		if resp, body := post(t, leader.ts, "/people", map[string]any{"name": name}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %s: %d %s", name, resp.StatusCode, body)
+		}
+		if i > 0 {
+			if resp, body := post(t, leader.ts, "/friendships", map[string]any{"a": i - 1, "b": i, "distance": 2.5}); resp.StatusCode != http.StatusOK {
+				t.Fatalf("connect: %d %s", resp.StatusCode, body)
+			}
+		}
+	}
+	// ...and in bulk through the journaled planner.
+	buildPopulation(t, leader.st.Planner(), 40)
+
+	waitCaughtUp(t, f.fo, leader.st)
+	if got, want := planOn(t, f.ts, 10), planOn(t, leader.ts, 10); !bytes.Equal(got, want) {
+		t.Fatalf("follower plan diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+
+	// The follower rejects mutations with 403 and a leader hint.
+	resp, body := post(t, f.ts, "/people", map[string]any{"name": "eve"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower accepted a mutation: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-STGQ-Leader"); got != leader.ts.URL {
+		t.Fatalf("X-STGQ-Leader = %q, want %q", got, leader.ts.URL)
+	}
+	var errBody struct {
+		Error  string `json:"error"`
+		Leader string `json:"leader"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody.Leader != leader.ts.URL {
+		t.Fatalf("403 body lacks leader hint: %s (%v)", body, err)
+	}
+
+	// Status reports the replica role and zero lag.
+	st, stBody := get(t, f.ts, "/status")
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", st.StatusCode)
+	}
+	var status struct {
+		Role        string          `json:"role"`
+		Leader      string          `json:"leader"`
+		Replication *replica.Status `json:"replication"`
+	}
+	if err := json.Unmarshal(stBody, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Role != "follower" || status.Leader != leader.ts.URL || status.Replication == nil {
+		t.Fatalf("follower status incomplete: %s", stBody)
+	}
+	if status.Replication.LagRecords != 0 || status.Replication.AppliedSeq != leader.st.LastSeq() {
+		t.Fatalf("follower should be caught up: %+v", *status.Replication)
+	}
+
+	// More leader mutations keep flowing.
+	if err := leader.st.Planner().SetBusy(10, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f.fo, leader.st)
+	if got, want := planOn(t, f.ts, 10), planOn(t, leader.ts, 10); !bytes.Equal(got, want) {
+		t.Fatalf("follower plan diverged after update:\n  follower %s\n  leader   %s", got, want)
+	}
+
+	// Restart the follower from its own data dir: it must resume at its
+	// applied position (not re-bootstrap) and keep replicating.
+	applied := f.fo.Status().AppliedSeq
+	f.stop()
+	buildPopulation(t, leader.st.Planner(), 10) // leader moves on while the follower is down
+
+	f2 := startFollower(t, fdir, leader.ts.URL)
+	if got := f2.fo.Status().AppliedSeq; got != applied {
+		t.Fatalf("restarted follower recovered seq %d from disk, want %d", got, applied)
+	}
+	waitCaughtUp(t, f2.fo, leader.st)
+	if f2.fo.Status().Bootstraps != 0 {
+		t.Fatalf("restart should resume from disk, not bootstrap: %+v", f2.fo.Status())
+	}
+	if got, want := planOn(t, f2.ts, 10), planOn(t, leader.ts, 10); !bytes.Equal(got, want) {
+		t.Fatalf("restarted follower diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+	// The records that arrived while the follower was down are applied:
+	// both sides agree on the population.
+	wantPeople, wantFriends := leader.st.Planner().Counts()
+	gotPeople, gotFriends := f2.fo.Planner().Counts()
+	if gotPeople != wantPeople || gotFriends != wantFriends {
+		t.Fatalf("follower population %d/%d, leader %d/%d", gotPeople, gotFriends, wantPeople, wantFriends)
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestFollowerCatchUpAcrossCompaction disconnects a follower, lets the
+// leader snapshot + compact past the follower's position, and checks the
+// reconnecting follower bootstraps from the snapshot and converges to
+// query-equivalence.
+func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
+	// Automatic snapshots off: the test controls compaction precisely.
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14, SnapshotEvery: -1})
+	buildPopulation(t, leader.st.Planner(), 20)
+
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+	stale := f.fo.Status().AppliedSeq
+	f.stop() // follower disconnects
+
+	// Leader moves on and compacts its journal past the follower's
+	// position: records ≤ the snapshot seq no longer exist as records.
+	buildPopulation(t, leader.st.Planner(), 20)
+	if err := leader.st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := leader.st.Stats().LastSnapshotSeq; snap <= stale {
+		t.Fatalf("test setup: snapshot seq %d does not cover follower position %d", snap, stale)
+	}
+	if _, err := leader.st.ReadCommitted(stale, 16); !errors.Is(err, journal.ErrCompacted) {
+		t.Fatalf("leader should have compacted past seq %d, ReadCommitted err = %v", stale, err)
+	}
+
+	// The reconnecting follower must bootstrap from the snapshot and
+	// then stream the tail.
+	f2 := startFollower(t, fdir, leader.ts.URL)
+	waitCaughtUp(t, f2.fo, leader.st)
+	if f2.fo.Status().Bootstraps == 0 {
+		t.Fatalf("follower crossed a compaction without bootstrapping: %+v", f2.fo.Status())
+	}
+	if got, want := planOn(t, f2.ts, 25), planOn(t, leader.ts, 25); !bytes.Equal(got, want) {
+		t.Fatalf("post-bootstrap follower diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+
+	// And the bootstrap is durable: a restart recovers from the
+	// follower's own disk at the caught-up position.
+	applied := f2.fo.Status().AppliedSeq
+	f2.stop()
+	f3 := startFollower(t, fdir, leader.ts.URL)
+	if got := f3.fo.Status().AppliedSeq; got != applied {
+		t.Fatalf("restart after bootstrap recovered seq %d, want %d", got, applied)
+	}
+	waitCaughtUp(t, f3.fo, leader.st)
+	if got, want := planOn(t, f3.ts, 25), planOn(t, leader.ts, 25); !bytes.Equal(got, want) {
+		t.Fatalf("restarted follower diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+}
+
+// TestFollowerJoinsAfterLeaderRecoveredFromSnapshot covers the fresh
+// follower whose after=0 position predates the leader's whole journal
+// (the leader itself booted from a snapshot): the very first stream must
+// be a bootstrap.
+func TestFollowerJoinsAfterLeaderRecoveredFromSnapshot(t *testing.T) {
+	ldir := t.TempDir()
+	leader := startLeader(t, ldir, journal.Options{HorizonSlots: 14, SnapshotEvery: -1})
+	buildPopulation(t, leader.st.Planner(), 15)
+	if err := leader.st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := startFollower(t, t.TempDir(), leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+	if f.fo.Status().Bootstraps == 0 {
+		t.Fatalf("fresh follower behind a compacted journal must bootstrap: %+v", f.fo.Status())
+	}
+	if got, want := planOn(t, f.ts, 8), planOn(t, leader.ts, 8); !bytes.Equal(got, want) {
+		t.Fatalf("follower diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+}
+
+// TestFollowerSurvivesLeaderRestart exercises reconnect-with-backoff: the
+// leader goes away mid-replication and comes back on a new port; pointing
+// a Follower at a stable URL is the operator's job, so the test uses a
+// reverse proxy address that outlives the leader restart.
+func TestFollowerSurvivesLeaderRestart(t *testing.T) {
+	ldir := t.TempDir()
+	leader1 := startLeader(t, ldir, journal.Options{HorizonSlots: 14})
+	buildPopulation(t, leader1.st.Planner(), 10)
+
+	// A trivial stable frontdoor for the leader's moving URL.
+	var target atomic.Value // string: the current leader base URL
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target.Load().(string)+r.URL.Path+"?"+r.URL.RawQuery, nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		fl, _ := w.(http.Flusher)
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	// Registered before startFollower so cleanup (LIFO) stops the
+	// follower first — httptest's Close waits out in-flight long-polls.
+	t.Cleanup(proxy.Close)
+	target.Store(leader1.ts.URL)
+
+	f := startFollower(t, t.TempDir(), proxy.URL)
+	waitCaughtUp(t, f.fo, leader1.st)
+
+	// Leader restarts: clean close, reopen on a fresh port. The store
+	// closes first so the in-flight stream ends (httptest's Close waits
+	// for outstanding requests).
+	if err := leader1.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leader1.ts.Close()
+	// With the frontdoor still pointing at the dead leader, the follower
+	// must observe at least one failed connect before the new leader
+	// appears — this makes the reconnect-with-backoff assertion
+	// deterministic instead of racing the restart window.
+	deadline := time.Now().Add(15 * time.Second)
+	for f.fo.Status().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never noticed the dead leader: %+v", f.fo.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	leader2 := startLeader(t, ldir, journal.Options{HorizonSlots: 14})
+	target.Store(leader2.ts.URL)
+	buildPopulation(t, leader2.st.Planner(), 5)
+
+	waitCaughtUp(t, f.fo, leader2.st)
+	if got, want := planOn(t, f.ts, 7), planOn(t, leader2.ts, 7); !bytes.Equal(got, want) {
+		t.Fatalf("follower diverged after leader restart:\n  follower %s\n  leader   %s", got, want)
+	}
+}

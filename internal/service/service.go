@@ -14,6 +14,7 @@
 //	POST   /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
 //	POST   /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
 //	GET    /status                                               → counts
+//	GET    /replication/stream                                   → journal stream (durable servers)
 //
 // Infeasible queries return 422; malformed requests 400; unknown people
 // 404.
@@ -27,6 +28,16 @@
 // (sequence numbers, group-commit batches, fsyncs, segments, snapshots).
 // Servers created with New or NewWithPlanner keep the previous in-memory
 // behaviour. Queries never touch the journal.
+//
+// # Replication
+//
+// A durable server doubles as a replication leader: GET
+// /replication/stream serves the committed journal (see
+// repro/internal/replica). A server created with NewFollower serves the
+// replicated, read-only planner of a replica.Follower: queries and
+// /status work normally (with replication lag fields), while mutating
+// endpoints are rejected with 403, a leader hint in the body and an
+// X-STGQ-Leader header pointing writers at the write path.
 package service
 
 import (
@@ -37,6 +48,7 @@ import (
 
 	stgq "repro"
 	"repro/internal/journal"
+	"repro/internal/replica"
 )
 
 // Server is the HTTP planning service. Create with New, mount anywhere (it
@@ -44,9 +56,11 @@ import (
 // and queries itself, so handlers run concurrently without server-level
 // locking.
 type Server struct {
-	pl    *stgq.Planner
-	store *journal.Store // nil for in-memory servers
-	mux   *http.ServeMux
+	pl         *stgq.Planner
+	store      *journal.Store    // nil for in-memory servers
+	follower   *replica.Follower // nil unless this is a read replica
+	leaderHint string            // write-endpoint URL advertised by followers
+	mux        *http.ServeMux
 }
 
 // New creates a service over an empty population with the given schedule
@@ -66,9 +80,21 @@ func NewWithPlanner(pl *stgq.Planner) *Server {
 }
 
 // NewWithStore wraps a journal store's recovered planner; mutations are
-// durable and /status reports journal statistics.
+// durable, /status reports journal statistics, and GET /replication/stream
+// serves the committed journal to followers (this server is a replication
+// leader).
 func NewWithStore(st *journal.Store) *Server {
 	s := &Server{pl: st.Planner(), store: st}
+	s.routes()
+	return s
+}
+
+// NewFollower serves the read-only replicated planner of fo. Mutating
+// endpoints answer 403 with leaderHint (the write endpoint's public URL)
+// in the body and the X-STGQ-Leader header; /status reports replication
+// lag. The caller drives fo.Run separately.
+func NewFollower(fo *replica.Follower, leaderHint string) *Server {
+	s := &Server{follower: fo, leaderHint: leaderHint}
 	s.routes()
 	return s
 }
@@ -83,6 +109,35 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
 	s.mux.HandleFunc("POST /query/manual", s.handleManualQuery)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
+	if s.store != nil {
+		s.mux.Handle("GET /replication/stream", replica.NewStreamer(s.store))
+	}
+}
+
+// planner returns the planner to serve this request from. Followers must
+// resolve it per request: a snapshot bootstrap swaps the replica's
+// planner wholesale.
+func (s *Server) planner() *stgq.Planner {
+	if s.follower != nil {
+		return s.follower.Planner()
+	}
+	return s.pl
+}
+
+// rejectReadOnly answers mutating requests on a follower with 403 and a
+// leader redirect hint; it reports whether the request was rejected.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if s.follower == nil {
+		return false
+	}
+	if s.leaderHint != "" {
+		w.Header().Set("X-STGQ-Leader", s.leaderHint)
+	}
+	writeJSON(w, http.StatusForbidden, errorResponse{
+		Error:  "read-only follower: send mutations to the leader",
+		Leader: s.leaderHint,
+	})
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -158,26 +213,36 @@ type ManualResponse struct {
 }
 
 // StatusResponse answers /status. Journal is present only on durable
-// servers (NewWithStore).
+// servers (NewWithStore and followers, which journal applied records into
+// their own store); Replication only on followers.
 type StatusResponse struct {
-	People      int            `json:"people"`
-	Friendships int            `json:"friendships"`
-	Horizon     int            `json:"horizonSlots"`
-	Journal     *journal.Stats `json:"journal,omitempty"`
+	People      int    `json:"people"`
+	Friendships int    `json:"friendships"`
+	Horizon     int    `json:"horizonSlots"`
+	Role        string `json:"role,omitempty"` // "leader" or "follower"; "" in-memory
+	// Leader is the write endpoint a follower redirects mutations to.
+	Leader      string          `json:"leader,omitempty"`
+	Journal     *journal.Stats  `json:"journal,omitempty"`
+	Replication *replica.Status `json:"replication,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Leader carries the redirect hint of a follower's 403.
+	Leader string `json:"leader,omitempty"`
 }
 
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req AddPersonRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := s.pl.AddPerson(req.Name)
+	id, err := s.planner().AddPerson(req.Name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -186,11 +251,14 @@ func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req FriendshipRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
+	if err := s.planner().Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -198,11 +266,14 @@ func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req FriendshipRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.pl.Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
+	if err := s.planner().Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -210,15 +281,19 @@ func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req AvailabilityRequest
 	if !decode(w, r, &req) {
 		return
 	}
+	pl := s.planner()
 	var err error
 	if req.Available {
-		err = s.pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
+		err = pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
 	} else {
-		err = s.pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
+		err = pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -249,7 +324,7 @@ func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.pl.FindGroup(stgq.SGQuery{
+	res, err := s.planner().FindGroup(stgq.SGQuery{
 		Initiator: stgq.PersonID(req.Initiator),
 		P:         req.P, S: req.S, K: req.K, Algorithm: alg,
 	})
@@ -270,7 +345,7 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	plan, err := s.pl.PlanActivity(stgq.STGQuery{
+	plan, err := s.planner().PlanActivity(stgq.STGQuery{
 		SGQuery: stgq.SGQuery{
 			Initiator: stgq.PersonID(req.Initiator),
 			P:         req.P, S: req.S, K: req.K, Algorithm: alg,
@@ -294,7 +369,7 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	plan, err := s.pl.PlanManually(stgq.STGQuery{
+	plan, err := s.planner().PlanManually(stgq.STGQuery{
 		SGQuery: stgq.SGQuery{
 			Initiator: stgq.PersonID(req.Initiator),
 			P:         req.P, S: req.S, K: req.K,
@@ -318,13 +393,23 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	people, friendships := s.pl.Counts()
+	pl := s.planner()
+	people, friendships := pl.Counts()
 	resp := StatusResponse{
 		People:      people,
 		Friendships: friendships,
-		Horizon:     s.pl.Horizon(),
+		Horizon:     pl.Horizon(),
 	}
-	if s.store != nil {
+	switch {
+	case s.follower != nil:
+		resp.Role = "follower"
+		resp.Leader = s.leaderHint
+		st := s.follower.JournalStats()
+		resp.Journal = &st
+		rs := s.follower.Status()
+		resp.Replication = &rs
+	case s.store != nil:
+		resp.Role = "leader"
 		st := s.store.Stats()
 		resp.Journal = &st
 	}

@@ -50,6 +50,21 @@
 // final record is truncated). A mutation call only returns once its record
 // is durable, so an acknowledged write survives a crash. The stgqd server
 // exposes this with its -data-dir flag.
+//
+// # Replication
+//
+// The journal doubles as a replication stream (repro/internal/replica):
+// a durable stgqd is a leader that serves its committed records over GET
+// /replication/stream, and followers — stgqd -follow <leader-url> —
+// replay them into their own durable stores and serve the read-heavy,
+// NP-hard query traffic, rejecting mutations with a redirect hint to the
+// leader. Replication is asynchronous and monotonic per follower: each
+// follower always holds a prefix of the leader's history, merely stale,
+// and its staleness (applied vs. leader sequence number, time since last
+// leader contact) is visible in its /status response. A follower whose
+// position has been compacted away on the leader bootstraps from the
+// leader's latest snapshot; a restarted follower recovers from its own
+// disk.
 package stgq
 
 import (
@@ -403,11 +418,20 @@ func FromDataset(d *dataset.Dataset) *Planner {
 // still held, letting callers capture state that must be consistent with
 // the exported copy — the journal store uses it to pin the snapshot's
 // sequence number. Privacy policies are not part of the export.
+//
+// Export also folds the accumulated SetAvailable/SetBusy edits into the
+// base calendar: the materialized calendar becomes the new base layer and
+// the edit log restarts empty, so a long-lived planner whose snapshots
+// run periodically rebuilds its calendar from a bounded number of edits
+// instead of an ever-growing log.
 func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 	pl.mu.Lock()
 	// Clone the calendar too: handing out the live cache would let a
 	// caller's SetRange edit the planner behind its lock.
-	cal := pl.calendarLocked().ExtendedClone(0)
+	materialized := pl.calendarLocked()
+	pl.base = materialized // fold: edits up to here are in the cache
+	pl.avail = nil
+	cal := materialized.ExtendedClone(0)
 	g := pl.g.Clone()
 	n := pl.g.NumVertices()
 	community := make([]int, n)
