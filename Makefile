@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench race
+.PHONY: check build test vet fmt-check fmt bench bench-smoke race
 
 check: fmt-check vet build test
 
@@ -28,3 +28,10 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# One-iteration smoke of the hot write and proxy paths: catches a broken
+# journal append or gateway proxy pipeline at build time without the cost
+# of a real benchmark run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway

@@ -1,0 +1,96 @@
+// Command stgqgw is the cluster gateway: one front door for a replicated
+// stgqd deployment (a leader plus N read followers, see stgqd -follow).
+// Clients talk to the gateway only; it probes every backend's /status,
+// fans query traffic across healthy followers (least pending requests),
+// forwards mutations to the leader — following 403 + X-STGQ-Leader
+// redirects when the leader moves — and retries a read once on a
+// different backend when a follower dies mid-request.
+//
+//	stgqgw -addr :8000 \
+//	       -backends http://leader:8080,http://f1:8081,http://f2:8082 \
+//	       -max-lag 5s
+//
+// -max-lag bounds the replication staleness a query answer may reflect
+// (0 = unbounded); a request can override it with an
+// X-STGQ-Max-Lag-Seconds header. Followers over the bound are skipped and
+// the leader serves as the fallback, so bounded reads degrade to the
+// leader rather than failing. GET /gateway/status reports the gateway's
+// view of the pool. SIGINT/SIGTERM stop the prober and drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8000", "listen address")
+		backends   = flag.String("backends", "", "comma-separated backend base URLs (leader and followers, roles are probed)")
+		maxLag     = flag.Duration("max-lag", 0, "default read-staleness bound (0: unbounded; per-request override: X-STGQ-Max-Lag-Seconds)")
+		probeEvery = flag.Duration("probe-every", gateway.DefaultProbeInterval, "backend /status polling interval")
+		drainFor   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:      strings.Split(*backends, ","),
+		MaxLag:        *maxLag,
+		ProbeInterval: *probeEvery,
+	})
+	if err != nil {
+		log.Fatalf("stgqgw: %v (use -backends url,url,...)", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	proberDone := make(chan struct{})
+	go func() {
+		gw.Run(ctx)
+		close(proberDone)
+	}()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("stgqgw: listening on %s, fronting %d backends\n", *addr, len(strings.Split(*backends, ",")))
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("stgqgw: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Println("stgqgw: shutting down")
+	<-proberDone
+	// End proxied replication streams first: they long-poll for their
+	// upstream lifetime and would stall the drain. Buffered
+	// query/mutation proxies keep their own request contexts and drain
+	// normally.
+	gw.StopStreams()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("stgqgw: drain: %v", err)
+	}
+	fmt.Println("stgqgw: bye")
+}

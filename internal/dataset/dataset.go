@@ -38,6 +38,12 @@ type Dataset struct {
 	Community []int
 	// Days is the schedule length the calendar was generated for.
 	Days int
+	// Policies maps vertex id → schedule-sharing policy (the integer value
+	// of stgq.SharePolicy; this package cannot import stgq). Generators
+	// leave it nil; durable-store snapshots carry it so privacy policies
+	// survive compaction. Vertices absent from the map use the default
+	// policy.
+	Policies map[int]int
 }
 
 // Real194Size is the population of the paper's real dataset.

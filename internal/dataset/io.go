@@ -18,6 +18,8 @@ type fileFormat struct {
 	Days         int          `json:"days"`
 	// Free[v] lists the free slot runs of person v.
 	Free [][][2]int `json:"free"`
+	// Policies maps person id → sharing policy (absent: default policy).
+	Policies map[int]int `json:"policies,omitempty"`
 }
 
 type filePerson struct {
@@ -39,6 +41,7 @@ func (d *Dataset) Save(w io.Writer) error {
 		HorizonSlots: d.Cal.Horizon(),
 		Days:         d.Days,
 		Free:         make([][][2]int, n),
+		Policies:     d.Policies,
 	}
 	for v := 0; v < n; v++ {
 		comm := 0
@@ -103,9 +106,14 @@ func Load(r io.Reader) (*Dataset, error) {
 			cal.SetRange(v, run[0], run[1], true)
 		}
 	}
+	for v := range f.Policies {
+		if v < 0 || v >= len(f.People) {
+			return nil, fmt.Errorf("dataset: policy for unknown person %d", v)
+		}
+	}
 	days := f.Days
 	if days == 0 && schedule.SlotsPerDay > 0 {
 		days = (f.HorizonSlots + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
 	}
-	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days}, nil
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: f.Policies}, nil
 }

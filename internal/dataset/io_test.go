@@ -8,6 +8,7 @@ import (
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	orig := Real194(9, 2)
+	orig.Policies = map[int]int{3: 1, 17: 2}
 	var buf bytes.Buffer
 	if err := orig.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -24,6 +25,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got.Days != orig.Days || got.Cal.Horizon() != orig.Cal.Horizon() {
 		t.Fatalf("horizon/days mismatch")
+	}
+	if len(got.Policies) != 2 || got.Policies[3] != 1 || got.Policies[17] != 2 {
+		t.Fatalf("policies lost in round trip: %v", got.Policies)
 	}
 	for v := 0; v < orig.Graph.NumVertices(); v++ {
 		if !got.Cal.Row(v).Equal(orig.Cal.Row(v)) {
@@ -51,6 +55,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		"extra person": `{"people":[{}],"horizonSlots":4,"free":[[],[[0,1]]]}`,
 		"neg horizon":  `{"people":[],"horizonSlots":-1,"free":[]}`,
 		"dup names":    `{"people":[{"name":"x"},{"name":"x"}],"horizonSlots":1,"free":[]}`,
+		"bad policy":   `{"people":[{}],"horizonSlots":4,"free":[[]],"policies":{"7":1}}`,
 	}
 	for name, in := range cases {
 		if _, err := Load(strings.NewReader(in)); err == nil {

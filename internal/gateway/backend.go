@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is one upstream stgqd server in the gateway's pool. Its identity
+// is the base URL; everything else is probed.
+type Backend struct {
+	// URL is the backend's base URL, e.g. http://follower-1:8080 (no
+	// trailing slash).
+	URL string
+
+	// pending counts in-flight proxied requests — the load signal of the
+	// least-pending-requests director.
+	pending atomic.Int64
+	// served counts completed proxied requests (success or error), for
+	// the gateway's own /gateway/status.
+	served atomic.Uint64
+
+	mu sync.Mutex
+	h  health
+}
+
+// health is the prober's last view of one backend.
+type health struct {
+	// Probed is true once at least one probe has completed (successfully
+	// or not); an unprobed backend is never routed to.
+	Probed bool
+	// Healthy is true when the last probe got HTTP 200 and the backend
+	// reported healthy (a follower mid-bootstrap reports healthy=false).
+	Healthy bool
+	// Role is the backend's self-reported role: "leader", "follower", or
+	// "" (in-memory).
+	Role string
+	// DurableSeq is the backend's durable (leader) or applied (follower)
+	// sequence number — the uniform replication coordinate staleness
+	// estimates compare.
+	DurableSeq uint64
+	// Err is the last probe failure ("" when the probe succeeded).
+	Err string
+	// At is when the probe completed.
+	At time.Time
+}
+
+func (b *Backend) health() health {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.h
+}
+
+func (b *Backend) setHealth(h health) {
+	b.mu.Lock()
+	b.h = h
+	b.mu.Unlock()
+}
+
+// markDown records a proxy-observed failure immediately, without waiting
+// for the next probe cycle: the director must stop picking a backend the
+// moment a request to it fails, or every retry window would re-try the
+// same dead server.
+func (b *Backend) markDown(err error) {
+	b.mu.Lock()
+	if b.h.Healthy {
+		b.h.Healthy = false
+		b.h.Err = "proxy: " + err.Error()
+	}
+	b.mu.Unlock()
+}
+
+// BackendStatus is one backend's entry in the gateway's own status
+// response.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Role    string `json:"role,omitempty"`
+	Healthy bool   `json:"healthy"`
+	// StalenessSeconds estimates how far behind the leader the backend's
+	// state is (0 = caught up; -1 = unknown).
+	StalenessSeconds float64 `json:"stalenessSeconds"`
+	DurableSeq       uint64  `json:"durableSeq"`
+	Pending          int64   `json:"pending"`
+	Served           uint64  `json:"served"`
+	Error            string  `json:"error,omitempty"`
+	ProbedAt         string  `json:"probedAt,omitempty"`
+}

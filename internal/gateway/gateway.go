@@ -1,0 +1,328 @@
+// Package gateway is the cluster front door of the planner service: one
+// reverse proxy that fronts a replication leader plus N read followers
+// (see repro/internal/replica) so clients need a single URL instead of
+// picking servers by hand. SGQ/STGQ query traffic — read-heavy, NP-hard
+// searches — fans out across the followers; mutations converge on the
+// leader.
+//
+// # Topology
+//
+//	                      ┌────────────► leader stgqd  (all mutations)
+//	clients ──► stgqgw ───┤                  │ /replication/stream
+//	                      ├─► follower stgqd ┤
+//	                      └─► follower stgqd ┘   (queries, least pending)
+//
+// # Routing
+//
+// A health prober polls every backend's GET /status (role, healthy flag,
+// durable/applied sequence number). Reads — POST /query/* and other GETs —
+// go to the healthy follower with the fewest in-flight requests; mutations
+// are forwarded to the leader. When a mutation bounces with 403 and an
+// X-STGQ-Leader hint (the leader moved), the gateway re-sends it to the
+// hinted URL transparently and adopts it as the new leader. A read whose
+// follower dies mid-request is retried once on a different backend —
+// queries are pure reads, so the retry is safe.
+//
+// # Bounded staleness
+//
+// Followers replicate asynchronously, so reads can be stale. The gateway
+// bounds the staleness it is willing to serve: per request with the
+// X-STGQ-Max-Lag-Seconds header, or per deployment with Config.MaxLag
+// (stgqgw -max-lag). Staleness is estimated from the leader's durable
+// sequence number: each probe records when the gateway first saw the
+// leader at a given seq (a watermark timeline), and a follower whose
+// applied seq is below a watermark has been stale since at least that
+// watermark's time. Followers over the bound are skipped; the leader — by
+// definition current — is the fallback, so a bounded read degrades to the
+// leader rather than failing. Reads never silently fall below the bound:
+// a backend admitted by the estimate can only be fresher than estimated.
+package gateway
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the cluster the gateway fronts.
+type Config struct {
+	// Backends lists every backend base URL — the leader and the
+	// followers in any order; roles are probed, not configured, so a
+	// promoted follower is picked up without a gateway restart.
+	Backends []string
+	// MaxLag is the default read-staleness bound applied when a request
+	// carries no X-STGQ-Max-Lag-Seconds header. 0 (or negative) means
+	// unbounded: any healthy follower may serve, however stale.
+	MaxLag time.Duration
+	// ProbeInterval is the /status polling cadence (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 2s).
+	ProbeTimeout time.Duration
+	// Client issues the proxied requests; a default client without a
+	// global timeout (replication streams long-poll) when nil.
+	Client *http.Client
+}
+
+// Gateway is the reverse proxy. Create with New, start the prober with
+// Run (in its own goroutine), and mount it anywhere (it implements
+// http.Handler).
+type Gateway struct {
+	backends     []*Backend
+	maxLag       float64 // seconds; < 0 = unbounded
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	client       *http.Client
+	probeClient  *http.Client
+
+	// leader is the current write endpoint: the probed leader, or the
+	// most recent 403 redirect hint — whichever arrived last.
+	leader atomic.Value // string
+
+	mu    sync.Mutex // guards marks
+	marks []watermark
+
+	// drainCh, once closed by StopStreams, cancels every proxied
+	// replication stream so a server Shutdown never has to wait out
+	// their long-poll lifetime.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+}
+
+// New validates cfg and builds the gateway. The pool view is empty until
+// Run (or ProbeOnce) has probed the backends.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	g := &Gateway{
+		maxLag:       cfg.MaxLag.Seconds(),
+		probeEvery:   cfg.ProbeInterval,
+		probeTimeout: cfg.ProbeTimeout,
+		client:       cfg.Client,
+		drainCh:      make(chan struct{}),
+	}
+	if g.maxLag <= 0 {
+		g.maxLag = -1
+	}
+	if g.probeEvery <= 0 {
+		g.probeEvery = DefaultProbeInterval
+	}
+	if g.probeTimeout <= 0 {
+		g.probeTimeout = DefaultProbeTimeout
+	}
+	if g.client == nil {
+		g.client = &http.Client{}
+	}
+	g.probeClient = &http.Client{}
+	g.leader.Store("")
+	seen := make(map[string]bool, len(cfg.Backends))
+	for _, raw := range cfg.Backends {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, errors.New("gateway: backend URL must be http(s): " + raw)
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		g.backends = append(g.backends, &Backend{URL: u})
+	}
+	if len(g.backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	return g, nil
+}
+
+// MaxLagHeader is the per-request read-staleness bound, in (fractional)
+// seconds. It overrides the gateway's -max-lag default; "0" demands a
+// fully caught-up backend (in practice: the leader, unless a follower has
+// applied everything the gateway has observed).
+const MaxLagHeader = "X-STGQ-Max-Lag-Seconds"
+
+// BackendHeader names the backend that served a proxied response — an
+// observability aid for clients and the handle the end-to-end tests assert
+// routing with.
+const BackendHeader = "X-STGQ-Backend"
+
+// ServeHTTP implements http.Handler: the director.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/gateway/"):
+		g.serveOwn(w, r)
+	case r.URL.Path == "/replication/stream":
+		// Followers (or a chained gateway) may sync through the front
+		// door; the stream long-polls, so it is proxied unbuffered.
+		g.forwardStream(w, r)
+	case isRead(r):
+		g.forwardRead(w, r)
+	default:
+		g.forwardMutation(w, r)
+	}
+}
+
+// isRead classifies a request as an idempotent read: every GET and the
+// query endpoints (pure, repeatable searches despite being POSTs).
+func isRead(r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	return r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/query/")
+}
+
+// maxLagFor resolves the staleness bound for one request. ok=false means
+// the header was malformed (a 400 was written).
+func (g *Gateway) maxLagFor(w http.ResponseWriter, r *http.Request) (bound float64, ok bool) {
+	v := r.Header.Get(MaxLagHeader)
+	if v == "" {
+		return g.maxLag, true
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || math.IsNaN(f) {
+		// NaN would compare false against every staleness estimate and
+		// silently disable the bound instead of enforcing it.
+		writeError(w, http.StatusBadRequest, "bad "+MaxLagHeader+" header: "+v)
+		return 0, false
+	}
+	return f, true
+}
+
+// leaderURL returns the current write endpoint ("" when none known).
+func (g *Gateway) leaderURL() string {
+	s, _ := g.leader.Load().(string)
+	return s
+}
+
+// backendFor returns the pool entry for url (nil for a 403-hinted leader
+// outside the configured pool).
+func (g *Gateway) backendFor(url string) *Backend {
+	url = strings.TrimRight(url, "/")
+	for _, b := range g.backends {
+		if b.URL == url {
+			return b
+		}
+	}
+	return nil
+}
+
+// pickRead selects the backend for a read with the given staleness bound
+// (seconds; < 0 = unbounded), skipping exclude (the backend a first
+// attempt just failed on). Selection tiers:
+//
+//  1. healthy followers within the bound — least pending requests wins;
+//  2. the leader (always current);
+//  3. unbounded reads only: any other healthy backend (an in-memory
+//     server, or followers of unknown staleness when no leader has ever
+//     been observed) — serving degraded beats failing the request.
+//
+// A bounded read never reaches tier 3: with no eligible follower and no
+// leader it returns nil (503) rather than silently violating the client's
+// freshness contract.
+func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
+	leaderURL := g.leaderURL()
+	var best *Backend
+	var bestPending int64
+	for _, b := range g.backends {
+		if b == exclude || b.URL == leaderURL {
+			continue
+		}
+		h := b.health()
+		if !h.Healthy || h.Role != "follower" {
+			continue
+		}
+		if bound >= 0 {
+			if st := g.staleness(h.DurableSeq); st < 0 || st > bound {
+				continue
+			}
+		}
+		if p := b.pending.Load(); best == nil || p < bestPending {
+			best, bestPending = b, p
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if lb := g.backendFor(leaderURL); lb != nil && lb != exclude && lb.health().Healthy {
+		return lb
+	}
+	if bound >= 0 {
+		return nil
+	}
+	for _, b := range g.backends {
+		if b == exclude || b.URL == leaderURL {
+			continue
+		}
+		if h := b.health(); !h.Healthy {
+			continue
+		}
+		if p := b.pending.Load(); best == nil || p < bestPending {
+			best, bestPending = b, p
+		}
+	}
+	return best
+}
+
+// StatusResponse answers GET /gateway/status.
+type StatusResponse struct {
+	// Leader is the current write endpoint ("" when none known).
+	Leader string `json:"leader,omitempty"`
+	// MaxLagSeconds is the default read bound (-1 = unbounded).
+	MaxLagSeconds float64         `json:"maxLagSeconds"`
+	Backends      []BackendStatus `json:"backends"`
+}
+
+// Status reports the gateway's current view of the pool.
+func (g *Gateway) Status() StatusResponse {
+	resp := StatusResponse{Leader: g.leaderURL(), MaxLagSeconds: g.maxLag}
+	for _, b := range g.backends {
+		h := b.health()
+		bs := BackendStatus{
+			URL:              b.URL,
+			Role:             h.Role,
+			Healthy:          h.Healthy,
+			StalenessSeconds: -1,
+			DurableSeq:       h.DurableSeq,
+			Pending:          b.pending.Load(),
+			Served:           b.served.Load(),
+			Error:            h.Err,
+		}
+		if h.Probed {
+			bs.ProbedAt = h.At.UTC().Format(time.RFC3339Nano)
+		}
+		if h.Healthy {
+			switch h.Role {
+			case "leader":
+				bs.StalenessSeconds = 0
+			case "follower":
+				bs.StalenessSeconds = g.staleness(h.DurableSeq)
+			}
+		}
+		resp.Backends = append(resp.Backends, bs)
+	}
+	return resp
+}
+
+// StopStreams ends every proxied replication stream (they reconnect to
+// wherever the operator points them next). Call it before draining the
+// gateway's HTTP server: buffered query/mutation proxies finish on their
+// own well within any drain timeout, but a stream long-polls for its full
+// upstream lifetime and would stall the drain otherwise.
+func (g *Gateway) StopStreams() {
+	g.drainOnce.Do(func() { close(g.drainCh) })
+}
+
+// serveOwn answers the gateway's own endpoints.
+func (g *Gateway) serveOwn(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/gateway/status" && r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, g.Status())
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown gateway endpoint "+r.URL.Path)
+}

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Prober defaults.
+const (
+	// DefaultProbeInterval is how often every backend's /status is polled.
+	DefaultProbeInterval = time.Second
+	// DefaultProbeTimeout bounds one probe request; a backend that cannot
+	// answer /status within it is unhealthy.
+	DefaultProbeTimeout = 2 * time.Second
+	// maxWatermarks bounds the retained leader-seq timeline. At the
+	// default probe interval that is over four minutes of history; a
+	// follower behind the oldest retained mark is at least that stale,
+	// which already exceeds any plausible read bound.
+	maxWatermarks = 256
+)
+
+// watermark records when the gateway first observed the leader's durable
+// sequence number at (or past) seq. The list is the gateway's staleness
+// clock: a follower whose applied position is below a mark's seq has been
+// behind the leader since at least that mark's time.
+type watermark struct {
+	seq uint64
+	at  time.Time
+}
+
+// Run probes every backend until ctx is cancelled. One round runs at
+// startup immediately so the director has a view before the first tick.
+func (g *Gateway) Run(ctx context.Context) {
+	g.ProbeOnce(ctx)
+	t := time.NewTicker(g.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.ProbeOnce(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ProbeOnce probes every backend concurrently and updates the pool view,
+// the discovered leader and the staleness watermarks. Run calls it on a
+// timer; tests and operators may call it directly for a synchronous
+// refresh.
+func (g *Gateway) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			b.setHealth(g.probe(ctx, b))
+		}(b)
+	}
+	wg.Wait()
+
+	// Adopt the healthiest self-reported leader. With two claimants (a
+	// failover's stale ex-leader still up) the higher durable sequence
+	// number wins: mutations must go to the history that moved on.
+	var leaderURL string
+	var leaderSeq uint64
+	found := false
+	for _, b := range g.backends {
+		h := b.health()
+		if h.Healthy && h.Role == "leader" && (!found || h.DurableSeq > leaderSeq) {
+			leaderURL, leaderSeq, found = b.URL, h.DurableSeq, true
+		}
+	}
+	if found {
+		g.leader.Store(leaderURL)
+		g.noteLeaderSeq(leaderSeq, time.Now())
+	}
+}
+
+// probe fetches one backend's /status.
+func (g *Gateway) probe(ctx context.Context, b *Backend) health {
+	h := health{Probed: true, At: time.Now()}
+	ctx, cancel := context.WithTimeout(ctx, g.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/status", nil)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	resp, err := g.probeClient.Do(req)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512)) //nolint:errcheck
+		h.Err = fmt.Sprintf("status %s", resp.Status)
+		return h
+	}
+	var st service.StatusResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		h.Err = "bad status body: " + err.Error()
+		return h
+	}
+	h.Healthy = st.Healthy
+	h.Role = st.Role
+	h.DurableSeq = st.DurableSeq
+	return h
+}
+
+// noteLeaderSeq appends a watermark when the leader's durable sequence
+// number advanced past the newest retained mark. A sequence number BELOW
+// the newest mark means the adopted leader's history regressed — a
+// failover promoted a follower that had not applied the old leader's
+// tail. Marks above its position describe a history that no longer
+// exists; keeping them would inflate every follower's staleness estimate
+// forever (no follower of the new leader can ever pass them), so they
+// are dropped and the clock restarts from the new leader's position.
+func (g *Gateway) noteLeaderSeq(seq uint64, at time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.marks)
+	for n > 0 && g.marks[n-1].seq > seq {
+		n--
+	}
+	g.marks = g.marks[:n]
+	if n > 0 && seq == g.marks[n-1].seq {
+		return
+	}
+	g.marks = append(g.marks, watermark{seq: seq, at: at})
+	if len(g.marks) > maxWatermarks {
+		g.marks = append(g.marks[:0], g.marks[len(g.marks)-maxWatermarks:]...)
+	}
+}
+
+// staleness estimates, in seconds, how long the state at applied sequence
+// number appliedSeq has been behind the leader: the age of the earliest
+// watermark whose seq exceeds it. 0 means caught up with everything the
+// gateway has observed; -1 means unknown (no leader observed yet). The
+// estimate is a lower bound — a backend can only be staler than the
+// gateway's observation history shows — so a backend it rejects is
+// certainly over the bound, while one it admits may have been observed too
+// recently to tell.
+func (g *Gateway) staleness(appliedSeq uint64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.marks) == 0 {
+		return -1
+	}
+	for _, m := range g.marks {
+		if m.seq > appliedSeq {
+			return time.Since(m.at).Seconds()
+		}
+	}
+	return 0
+}

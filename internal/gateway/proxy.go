@@ -1,0 +1,302 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Request bodies are buffered so a failed read attempt can be replayed on
+// a different backend. The service itself caps bodies at 64 KiB; the
+// gateway's cap only has to be no tighter.
+const maxRequestBody = 1 << 20
+
+// Responses on the buffered path (queries, mutations, statuses — all
+// small JSON) are read fully before anything reaches the client, so a
+// backend dying mid-response is still retryable. Only the replication
+// stream is exempt (forwardStream).
+const maxBufferedResponse = 16 << 20
+
+// proxied is one fully-buffered upstream response.
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forwardRead proxies an idempotent read to the staleness-eligible
+// backend with the fewest in-flight requests, retrying exactly once on a
+// different backend when the first dies mid-request.
+func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
+	bound, ok := g.maxLagFor(w, r)
+	if !ok {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	b := g.pickRead(bound, nil)
+	if b == nil {
+		writeError(w, http.StatusServiceUnavailable, "gateway: no healthy backend for reads")
+		return
+	}
+	p, err := g.doVia(r, b, body)
+	if err == nil {
+		relay(w, p, b.URL)
+		return
+	}
+	if r.Context().Err() != nil {
+		// The client disconnected or its deadline passed: the failure
+		// says nothing about the backend's health, and a retry would die
+		// on the same dead context. Don't let an impatient client blind
+		// the pool.
+		writeError(w, http.StatusBadGateway, "gateway: request cancelled: "+err.Error())
+		return
+	}
+	b.markDown(err)
+	if b2 := g.pickRead(bound, b); b2 != nil {
+		if p2, err2 := g.doVia(r, b2, body); err2 == nil {
+			relay(w, p2, b2.URL)
+			return
+		} else if r.Context().Err() == nil {
+			b2.markDown(err2)
+		}
+	}
+	writeError(w, http.StatusBadGateway, "gateway: backend unavailable: "+err.Error())
+}
+
+// forwardMutation proxies a mutation to the leader. A 403 with an
+// X-STGQ-Leader hint means the leader moved (the targeted backend was, or
+// became, a follower): the gateway adopts the hint and re-sends once —
+// safe, because a 403 rejection means the mutation was not applied.
+func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	target := g.leaderURL()
+	if target == "" {
+		writeError(w, http.StatusServiceUnavailable, "gateway: no leader known")
+		return
+	}
+	var p *proxied
+	for attempt := 0; ; attempt++ {
+		var err error
+		p, err = g.doTarget(r, target, body)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "gateway: leader unavailable: "+err.Error())
+			return
+		}
+		if attempt == 0 && p.status == http.StatusForbidden {
+			hint := strings.TrimRight(p.header.Get(service.LeaderHeader), "/")
+			if hint != "" && hint != target {
+				g.leader.Store(hint)
+				target = hint
+				continue
+			}
+		}
+		break
+	}
+	relay(w, p, target)
+}
+
+// forwardStream proxies GET /replication/stream to the leader unbuffered:
+// the stream long-polls and must flush frame by frame. The upstream
+// request is additionally cancelled by StopStreams so a draining gateway
+// never waits out the stream's lifetime.
+func (g *Gateway) forwardStream(w http.ResponseWriter, r *http.Request) {
+	target := g.leaderURL()
+	if target == "" {
+		writeError(w, http.StatusServiceUnavailable, "gateway: no leader known")
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-g.drainCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	r = r.WithContext(ctx)
+	req, err := outbound(r, target, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "gateway: "+err.Error())
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "gateway: leader unavailable: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set(BackendHeader, target)
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// doVia proxies through a pool backend, maintaining its load counters.
+func (g *Gateway) doVia(r *http.Request, b *Backend, body []byte) (*proxied, error) {
+	b.pending.Add(1)
+	defer func() {
+		b.pending.Add(-1)
+		b.served.Add(1)
+	}()
+	return g.do(r, b.URL, body)
+}
+
+// doTarget proxies to an arbitrary URL, using pool counters when the
+// target is a configured backend (a 403-hinted leader may not be).
+func (g *Gateway) doTarget(r *http.Request, target string, body []byte) (*proxied, error) {
+	if b := g.backendFor(target); b != nil {
+		return g.doVia(r, b, body)
+	}
+	return g.do(r, target, body)
+}
+
+// do issues one buffered proxy round trip. Any error — dial failure or a
+// death mid-response — is returned with nothing written to the client, so
+// the caller may retry.
+func (g *Gateway) do(r *http.Request, target string, body []byte) (*proxied, error) {
+	req, err := outbound(r, target, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBufferedResponse+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxBufferedResponse {
+		// Relaying a truncated body under the upstream's Content-Length
+		// would hang the client; no legitimate endpoint produces this.
+		return nil, errors.New("gateway: response exceeds " + strconv.Itoa(maxBufferedResponse) + " bytes")
+	}
+	return &proxied{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// outbound builds the upstream request mirroring r.
+func outbound(r *http.Request, target string, body []byte) (*http.Request, error) {
+	url := target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, r.Header)
+	req.Header.Del(MaxLagHeader) // consumed by the gateway, not the backend
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
+			host = prior + ", " + host
+		}
+		req.Header.Set("X-Forwarded-For", host)
+	}
+	return req, nil
+}
+
+// relay writes a buffered upstream response to the client.
+func relay(w http.ResponseWriter, p *proxied, backendURL string) {
+	copyHeader(w.Header(), p.header)
+	w.Header().Set(BackendHeader, backendURL)
+	w.WriteHeader(p.status)
+	_, _ = w.Write(p.body)
+}
+
+// hopByHop lists the headers that describe one connection, not the
+// message; a proxy must not forward them.
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Proxy-Connection":    true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+func copyHeader(dst, src http.Header) {
+	dropped := map[string]bool{}
+	for _, name := range src.Values("Connection") {
+		for _, h := range strings.Split(name, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				dropped[http.CanonicalHeaderKey(h)] = true
+			}
+		}
+	}
+	for k, vv := range src {
+		if hopByHop[k] || dropped[k] {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// readBody buffers the request body for replay. ok=false means an error
+// response was already written.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Body == nil {
+		return nil, true
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "gateway: reading request body: "+err.Error())
+		return nil, false
+	}
+	if len(data) > maxRequestBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "gateway: request body too large")
+		return nil, false
+	}
+	return data, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

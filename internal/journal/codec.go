@@ -57,6 +57,9 @@ func appendFrame(dst []byte, rec Record) ([]byte, error) {
 		payload = binary.AppendUvarint(payload, uint64(m.Person))
 		payload = binary.AppendUvarint(payload, uint64(m.From))
 		payload = binary.AppendUvarint(payload, uint64(m.To))
+	case stgq.MutSetPolicy:
+		payload = binary.AppendUvarint(payload, uint64(m.Person))
+		payload = binary.AppendUvarint(payload, uint64(m.Policy))
 	default:
 		return nil, fmt.Errorf("journal: cannot encode op %v", m.Op)
 	}
@@ -145,6 +148,17 @@ func decodePayload(payload []byte) (Record, error) {
 		}
 		rec.Mut.Person = stgq.PersonID(p)
 		rec.Mut.From, rec.Mut.To = int(from), int(to)
+	case stgq.MutSetPolicy:
+		p, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		pol, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Mut.Person = stgq.PersonID(p)
+		rec.Mut.Policy = stgq.SharePolicy(pol)
 	default:
 		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
 	}

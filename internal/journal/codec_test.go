@@ -15,6 +15,7 @@ func sampleRecords() []Record {
 		{Seq: 4, Mut: stgq.Mutation{Op: stgq.MutSetAvailable, Person: 1, From: 36, To: 44}},
 		{Seq: 5, Mut: stgq.Mutation{Op: stgq.MutSetBusy, Person: 0, From: 0, To: 48}},
 		{Seq: 6, Mut: stgq.Mutation{Op: stgq.MutDisconnect, A: 1, B: 0}},
+		{Seq: 7, Mut: stgq.Mutation{Op: stgq.MutSetPolicy, Person: 1, Policy: stgq.ShareFriends}},
 	}
 }
 

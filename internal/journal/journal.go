@@ -1,6 +1,7 @@
 // Package journal is the durable event-journal persistence subsystem of
 // the planner service. It records every Planner mutation (AddPerson,
-// Connect, Disconnect, SetAvailable, SetBusy) as a typed, versioned record
+// Connect, Disconnect, SetAvailable, SetBusy, SetSchedulePolicy) as a
+// typed, versioned record
 // in a write-ahead journal, folds the journal into periodic snapshots that
 // reuse the internal/dataset serialization, and rebuilds the Planner on
 // startup from the latest snapshot plus the journal tail.

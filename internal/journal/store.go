@@ -322,6 +322,11 @@ func apply(pl *stgq.Planner, rec Record) error {
 			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
 		}
 		return nil
+	case stgq.MutSetPolicy:
+		if err := pl.SetSchedulePolicy(m.Person, m.Policy); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
 	}
 	return fmt.Errorf("%w: replay seq %d: unknown op %d", ErrCorrupt, rec.Seq, m.Op)
 }

@@ -79,6 +79,10 @@ func genMutations(r *rand.Rand, n, horizon int) []stgq.Mutation {
 				}
 				i++
 			}
+		case x < 0.67:
+			p := r.Intn(people)
+			muts = append(muts, stgq.Mutation{Op: stgq.MutSetPolicy,
+				Person: stgq.PersonID(p), Policy: stgq.SharePolicy(r.Intn(3))})
 		default:
 			p := r.Intn(people)
 			from := r.Intn(horizon)
@@ -125,6 +129,11 @@ func assertPlannersAgree(t *testing.T, tag string, got, want *stgq.Planner) {
 	}
 	if got.NumFriendships() != want.NumFriendships() {
 		t.Fatalf("%s: friendships %d, want %d", tag, got.NumFriendships(), want.NumFriendships())
+	}
+	for p := 0; p < want.NumPeople(); p++ {
+		if g, w := got.SchedulePolicy(stgq.PersonID(p)), want.SchedulePolicy(stgq.PersonID(p)); g != w {
+			t.Fatalf("%s: policy of person %d = %v, want %v", tag, p, g, w)
+		}
 	}
 	sg := stgq.SGQuery{Initiator: 0, P: 3, S: 2, K: 1}
 	gotG, errG := got.FindGroup(sg)

@@ -60,7 +60,12 @@ type Status struct {
 	LagSeconds float64 `json:"lagSeconds"`
 	Reconnects uint64  `json:"reconnects"`
 	Bootstraps uint64  `json:"bootstraps"`
-	LastError  string  `json:"lastError,omitempty"`
+	// Bootstrapping is true while a snapshot re-bootstrap is wiping and
+	// re-seeding the follower's store: the served planner is about to be
+	// replaced wholesale, so the follower must not be advertised as a
+	// healthy (merely stale) read backend.
+	Bootstrapping bool   `json:"bootstrapping,omitempty"`
+	LastError     string `json:"lastError,omitempty"`
 }
 
 // Follower replicates a leader's journal into its own durable store and
@@ -83,7 +88,9 @@ type Follower struct {
 	// forceBootstrap requests a snapshot reset on the next connect —
 	// set when local apply diverges from the leader's history.
 	forceBootstrap atomic.Bool
-	closed         atomic.Bool
+	// bootstrapping is true while resetFromSnapshot is in progress.
+	bootstrapping atomic.Bool
+	closed        atomic.Bool
 }
 
 // NewFollower opens (or recovers) the follower's own store in cfg.Dir and
@@ -139,6 +146,21 @@ func (f *Follower) Planner() *stgq.Planner { return f.store().Planner() }
 // JournalStats returns the follower's own journal statistics.
 func (f *Follower) JournalStats() journal.Stats { return f.store().Stats() }
 
+// StatusView returns the current planner and journal stats without ever
+// blocking: ok is false while a snapshot re-bootstrap holds the store
+// lock for the swap. The follower's /status handler uses it so health
+// probes get a prompt unhealthy answer during a bootstrap instead of
+// stalling behind the lock — the Bootstrapping flag alone cannot close
+// that window, since a reset can begin between reading the flag and
+// touching the store.
+func (f *Follower) StatusView() (pl *stgq.Planner, st journal.Stats, ok bool) {
+	if !f.mu.TryRLock() {
+		return nil, journal.Stats{}, false
+	}
+	defer f.mu.RUnlock()
+	return f.st.Planner(), f.st.Stats(), true
+}
+
 func (f *Follower) store() *journal.Store {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -158,14 +180,15 @@ func (f *Follower) Status() Status {
 		lagSec = time.Since(time.Unix(0, t)).Seconds()
 	}
 	s := Status{
-		Leader:     f.cfg.LeaderURL,
-		Connected:  f.connected.Load(),
-		AppliedSeq: applied,
-		LeaderSeq:  leader,
-		LagRecords: lag,
-		LagSeconds: lagSec,
-		Reconnects: f.reconnects.Load(),
-		Bootstraps: f.bootstraps.Load(),
+		Leader:        f.cfg.LeaderURL,
+		Connected:     f.connected.Load(),
+		AppliedSeq:    applied,
+		LeaderSeq:     leader,
+		LagRecords:    lag,
+		LagSeconds:    lagSec,
+		Reconnects:    f.reconnects.Load(),
+		Bootstraps:    f.bootstraps.Load(),
+		Bootstrapping: f.bootstrapping.Load(),
 	}
 	if v, ok := f.lastErr.Load().(string); ok {
 		s.LastError = v
@@ -311,6 +334,11 @@ func (f *Follower) applyWire(msg wireMsg) error {
 // resetFromSnapshot replaces the follower's store with the leader's
 // snapshot at seq.
 func (f *Follower) resetFromSnapshot(seq uint64, ds *dataset.Dataset) error {
+	// Flag the reset before taking the lock: /status handlers that are not
+	// yet blocked on the swapped planner must already see the follower as
+	// bootstrapping (unhealthy), not stale-but-healthy.
+	f.bootstrapping.Store(true)
+	defer f.bootstrapping.Store(false)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed.Load() {

@@ -1,0 +1,56 @@
+package replica
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestResetFromSnapshotTogglesBootstrapping pins the health contract of
+// satellite gateways: Status reports Bootstrapping while (and only while)
+// a snapshot reset is replacing the follower's store, and the reset
+// leaves the follower at the snapshot's sequence number.
+func TestResetFromSnapshotTogglesBootstrapping(t *testing.T) {
+	f, err := NewFollower(Config{LeaderURL: "http://leader.invalid:8080", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Status().Bootstrapping {
+		t.Fatal("fresh follower reports bootstrapping")
+	}
+
+	ds := dataset.Synthetic(20, 7, 1)
+	// Observe the flag mid-reset through the atomic the status path reads:
+	// it must already be set before the store lock is taken.
+	f.bootstrapping.Store(true)
+	if !f.Status().Bootstrapping {
+		t.Fatal("Status does not surface the bootstrapping flag")
+	}
+	f.bootstrapping.Store(false)
+
+	if err := f.resetFromSnapshot(5, ds); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if st.Bootstrapping {
+		t.Fatalf("bootstrapping still set after reset: %+v", st)
+	}
+	if st.AppliedSeq != 5 {
+		t.Fatalf("applied seq %d after reset, want 5", st.AppliedSeq)
+	}
+	if got := f.Planner().NumPeople(); got != 20 {
+		t.Fatalf("reset planner has %d people, want 20", got)
+	}
+
+	// StatusView must refuse (not block) while the reset holds the store
+	// lock — the non-blocking path the follower's /status handler uses.
+	if _, _, ok := f.StatusView(); !ok {
+		t.Fatal("StatusView not ok on an idle follower")
+	}
+	f.mu.Lock()
+	if _, _, ok := f.StatusView(); ok {
+		t.Fatal("StatusView acquired the store lock mid-reset")
+	}
+	f.mu.Unlock()
+}

@@ -92,6 +92,7 @@ type wireMsg struct {
 	D    float64 `json:"d,omitempty"`
 	From int     `json:"from,omitempty"`
 	To   int     `json:"to,omitempty"`
+	Pol  int     `json:"pol,omitempty"`
 }
 
 func toWire(rec journal.Record) wireMsg {
@@ -107,6 +108,7 @@ func toWire(rec journal.Record) wireMsg {
 		D:    m.Distance,
 		From: m.From,
 		To:   m.To,
+		Pol:  int(m.Policy),
 	}
 }
 
@@ -122,6 +124,7 @@ func fromWire(w wireMsg) journal.Record {
 			Distance: w.D,
 			From:     w.From,
 			To:       w.To,
+			Policy:   stgq.SharePolicy(w.Pol),
 		},
 	}
 }

@@ -221,11 +221,18 @@ func TestLeaderFollowerEndToEnd(t *testing.T) {
 		t.Fatalf("follower should be caught up: %+v", *status.Replication)
 	}
 
-	// More leader mutations keep flowing.
+	// More leader mutations keep flowing — privacy policies included,
+	// which replicate as MutSetPolicy records like any other mutation.
 	if err := leader.st.Planner().SetBusy(10, 0, 5); err != nil {
 		t.Fatal(err)
 	}
+	if err := leader.st.Planner().SetSchedulePolicy(11, stgq.ShareNone); err != nil {
+		t.Fatal(err)
+	}
 	waitCaughtUp(t, f.fo, leader.st)
+	if got := f.fo.Planner().SchedulePolicy(11); got != stgq.ShareNone {
+		t.Fatalf("policy did not replicate: person 11 = %v, want none", got)
+	}
 	if got, want := planOn(t, f.ts, 10), planOn(t, leader.ts, 10); !bytes.Equal(got, want) {
 		t.Fatalf("follower plan diverged after update:\n  follower %s\n  leader   %s", got, want)
 	}

@@ -10,6 +10,7 @@
 //	POST   /friendships   {"a": 0, "b": 1, "distance": 4}        → {}
 //	DELETE /friendships   {"a": 0, "b": 1}                       → {}
 //	POST   /availability  {"person":0,"from":36,"to":44,"available":true} → {}
+//	POST   /policies      {"person":0,"policy":"friends"}        → {}
 //	POST   /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
 //	POST   /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
 //	POST   /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
@@ -50,6 +51,12 @@ import (
 	"repro/internal/journal"
 	"repro/internal/replica"
 )
+
+// LeaderHeader is the response header carrying a follower's leader
+// redirect hint on 403-rejected mutations. The cluster gateway
+// (repro/internal/gateway) keys its transparent mutation re-routing off
+// it.
+const LeaderHeader = "X-STGQ-Leader"
 
 // Server is the HTTP planning service. Create with New, mount anywhere (it
 // implements http.Handler). The underlying Planner synchronizes mutations
@@ -105,6 +112,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /friendships", s.handleAddFriendship)
 	s.mux.HandleFunc("DELETE /friendships", s.handleRemoveFriendship)
 	s.mux.HandleFunc("POST /availability", s.handleAvailability)
+	s.mux.HandleFunc("POST /policies", s.handleSetPolicy)
 	s.mux.HandleFunc("POST /query/group", s.handleGroupQuery)
 	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
 	s.mux.HandleFunc("POST /query/manual", s.handleManualQuery)
@@ -131,7 +139,7 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
 		return false
 	}
 	if s.leaderHint != "" {
-		w.Header().Set("X-STGQ-Leader", s.leaderHint)
+		w.Header().Set(LeaderHeader, s.leaderHint)
 	}
 	writeJSON(w, http.StatusForbidden, errorResponse{
 		Error:  "read-only follower: send mutations to the leader",
@@ -170,6 +178,13 @@ type AvailabilityRequest struct {
 	From      int  `json:"from"`
 	To        int  `json:"to"`
 	Available bool `json:"available"`
+}
+
+// PolicyRequest sets a person's schedule-sharing policy ("all", "friends"
+// or "none"; see stgq.SharePolicy).
+type PolicyRequest struct {
+	Person int    `json:"person"`
+	Policy string `json:"policy"`
 }
 
 // QueryRequest carries the query parameters shared by all query endpoints.
@@ -220,6 +235,16 @@ type StatusResponse struct {
 	Friendships int    `json:"friendships"`
 	Horizon     int    `json:"horizonSlots"`
 	Role        string `json:"role,omitempty"` // "leader" or "follower"; "" in-memory
+	// Healthy is false while the server cannot be trusted as a read
+	// backend — today only a follower mid-snapshot-bootstrap (its planner
+	// is being replaced wholesale). The cluster gateway's health prober
+	// keys off it.
+	Healthy bool `json:"healthy"`
+	// DurableSeq is the highest fsynced sequence number: the leader's
+	// durable position, or the follower's applied position. It is the
+	// uniform replication coordinate the gateway compares across backends
+	// to estimate staleness (0 on in-memory servers).
+	DurableSeq uint64 `json:"durableSeq"`
 	// Leader is the write endpoint a follower redirects mutations to.
 	Leader      string          `json:"leader,omitempty"`
 	Journal     *journal.Stats  `json:"journal,omitempty"`
@@ -296,6 +321,26 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		err = pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
 	}
 	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
+	var req PolicyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	policy, err := stgq.ParseSharePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.planner().SetSchedulePolicy(stgq.PersonID(req.Person), policy); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -393,23 +438,37 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	pl := s.planner()
-	people, friendships := pl.Counts()
+	if s.follower != nil {
+		// During a snapshot re-bootstrap the follower's store is locked
+		// for the swap; /status must keep answering (unhealthy) instead
+		// of blocking behind it, so the store is read through the
+		// non-blocking StatusView.
+		rs := s.follower.Status()
+		resp := StatusResponse{
+			Role:        "follower",
+			Leader:      s.leaderHint,
+			DurableSeq:  rs.AppliedSeq,
+			Replication: &rs,
+		}
+		if pl, st, ok := s.follower.StatusView(); ok && !rs.Bootstrapping {
+			resp.Healthy = true
+			resp.People, resp.Friendships = pl.Counts()
+			resp.Horizon = pl.Horizon()
+			resp.Journal = &st
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	people, friendships := s.pl.Counts()
 	resp := StatusResponse{
 		People:      people,
 		Friendships: friendships,
-		Horizon:     pl.Horizon(),
+		Horizon:     s.pl.Horizon(),
+		Healthy:     true,
 	}
-	switch {
-	case s.follower != nil:
-		resp.Role = "follower"
-		resp.Leader = s.leaderHint
-		st := s.follower.JournalStats()
-		resp.Journal = &st
-		rs := s.follower.Status()
-		resp.Replication = &rs
-	case s.store != nil:
+	if s.store != nil {
 		resp.Role = "leader"
+		resp.DurableSeq = s.store.DurableSeq()
 		st := s.store.Stats()
 		resp.Journal = &st
 	}

@@ -42,15 +42,31 @@ func (p SharePolicy) String() string {
 	return fmt.Sprintf("SharePolicy(%d)", int(p))
 }
 
+// ParseSharePolicy converts a policy's String form back to the policy.
+func ParseSharePolicy(s string) (SharePolicy, error) {
+	switch s {
+	case "", "all":
+		return ShareAll, nil
+	case "friends":
+		return ShareFriends, nil
+	case "none":
+		return ShareNone, nil
+	}
+	return 0, fmt.Errorf("%w: unknown policy %q", ErrBadQuery, s)
+}
+
 // SetSchedulePolicy sets who may read person p's availability. The default
-// for every person is ShareAll.
+// for every person is ShareAll. On a durable planner the change is
+// journaled (MutSetPolicy) like every other mutation, so policies survive
+// restarts and replicate to followers.
 func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
+		pl.mu.Unlock()
 		return fmt.Errorf("%w: person %d", ErrPersonNotFound, p)
 	}
 	if policy < ShareAll || policy > ShareNone {
+		pl.mu.Unlock()
 		return fmt.Errorf("%w: unknown policy %d", ErrBadQuery, policy)
 	}
 	if pl.policies == nil {
@@ -60,6 +76,11 @@ func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
 		delete(pl.policies, p)
 	} else {
 		pl.policies[p] = policy
+	}
+	wait := pl.notifyLocked(Mutation{Op: MutSetPolicy, Person: p, Policy: policy})
+	pl.mu.Unlock()
+	if wait != nil {
+		return wait()
 	}
 	return nil
 }

@@ -65,6 +65,28 @@
 // position has been compacted away on the leader bootstraps from the
 // leader's latest snapshot; a restarted follower recovers from its own
 // disk.
+//
+// # Cluster topology
+//
+// The cluster gateway (repro/internal/gateway, command stgqgw) gives the
+// replicated deployment a single front door, so clients never pick
+// servers by hand:
+//
+//	                      ┌────────────► leader stgqd   all mutations
+//	clients ──► stgqgw ───┤                  │           (journal + fsync)
+//	                      ├─► follower stgqd ┤ /replication/stream
+//	                      └─► follower stgqd ┘
+//	                          queries, spread by least
+//	                          pending requests
+//
+// The gateway probes every backend's GET /status for role, health and the
+// durable sequence number, fans /query/* traffic across healthy followers
+// under a configurable staleness bound (-max-lag, or per request with an
+// X-STGQ-Max-Lag-Seconds header; followers over the bound are skipped and
+// the leader is the fallback), forwards mutations to the leader —
+// following 403 + X-STGQ-Leader redirects when the leader moves — and
+// retries a read once on another backend when a follower dies
+// mid-request.
 package stgq
 
 import (
@@ -99,6 +121,8 @@ const (
 	MutSetAvailable
 	// MutSetBusy records a SetBusy call.
 	MutSetBusy
+	// MutSetPolicy records a SetSchedulePolicy call.
+	MutSetPolicy
 )
 
 func (op MutationOp) String() string {
@@ -113,6 +137,8 @@ func (op MutationOp) String() string {
 		return "set-available"
 	case MutSetBusy:
 		return "set-busy"
+	case MutSetPolicy:
+		return "set-policy"
 	}
 	return fmt.Sprintf("MutationOp(%d)", uint8(op))
 }
@@ -123,7 +149,8 @@ func (op MutationOp) String() string {
 //   - MutAddPerson: Name (as requested) and Person (the assigned id);
 //   - MutConnect: A, B and Distance;
 //   - MutDisconnect: A and B;
-//   - MutSetAvailable, MutSetBusy: Person, From and To.
+//   - MutSetAvailable, MutSetBusy: Person, From and To;
+//   - MutSetPolicy: Person and Policy.
 type Mutation struct {
 	Op       MutationOp
 	Name     string
@@ -131,6 +158,7 @@ type Mutation struct {
 	A, B     PersonID
 	Distance float64
 	From, To int
+	Policy   SharePolicy
 }
 
 // MutationHook observes every successful mutation. It is invoked
@@ -399,8 +427,21 @@ func (pl *Planner) calendarLocked() *schedule.Calendar {
 
 // FromDataset wraps a generated dataset (see cmd/stgqgen and
 // internal/dataset) in a Planner. The dataset's calendar becomes the base
-// layer: later SetAvailable/SetBusy calls edit on top of it.
+// layer: later SetAvailable/SetBusy calls edit on top of it. Privacy
+// policies recorded in the dataset (a durable store's snapshot) are
+// restored; unknown policy values fall back to ShareAll.
 func FromDataset(d *dataset.Dataset) *Planner {
+	var policies map[PersonID]SharePolicy
+	for v, pol := range d.Policies {
+		sp := SharePolicy(pol)
+		if sp <= ShareAll || sp > ShareNone {
+			continue
+		}
+		if policies == nil {
+			policies = make(map[PersonID]SharePolicy, len(d.Policies))
+		}
+		policies[PersonID(v)] = sp
+	}
 	return &Planner{
 		g:         d.Graph,
 		horizon:   d.Cal.Horizon(),
@@ -408,6 +449,7 @@ func FromDataset(d *dataset.Dataset) *Planner {
 		cal:       d.Cal,
 		calDirty:  false,
 		community: d.Community,
+		policies:  policies,
 	}
 }
 
@@ -417,7 +459,8 @@ func FromDataset(d *dataset.Dataset) *Planner {
 // FromDataset. If onLocked is non-nil it runs while the planner lock is
 // still held, letting callers capture state that must be consistent with
 // the exported copy — the journal store uses it to pin the snapshot's
-// sequence number. Privacy policies are not part of the export.
+// sequence number. Privacy policies are part of the export, so a durable
+// store's snapshots preserve them across compaction.
 //
 // Export also folds the accumulated SetAvailable/SetBusy edits into the
 // base calendar: the materialized calendar becomes the new base layer and
@@ -436,6 +479,13 @@ func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 	n := pl.g.NumVertices()
 	community := make([]int, n)
 	copy(community, pl.community) // people added later default to community 0
+	var policies map[int]int
+	if len(pl.policies) > 0 {
+		policies = make(map[int]int, len(pl.policies))
+		for p, pol := range pl.policies {
+			policies[int(p)] = int(pol)
+		}
+	}
 	if onLocked != nil {
 		onLocked()
 	}
@@ -444,7 +494,7 @@ func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 	if schedule.SlotsPerDay > 0 {
 		days = (pl.horizon + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
 	}
-	return &dataset.Dataset{Graph: g, Cal: cal, Community: community, Days: days}
+	return &dataset.Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: policies}
 }
 
 // queryView captures everything a query needs under one lock acquisition:

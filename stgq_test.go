@@ -380,6 +380,9 @@ func countFree(c *schedule.Calendar) int {
 // answer queries identically.
 func TestExportRoundTrip(t *testing.T) {
 	pl, ids := examplePlanner(t)
+	if err := pl.SetSchedulePolicy(ids["v3"], stgq.ShareFriends); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := pl.Export(nil).Save(&buf); err != nil {
 		t.Fatal(err)
@@ -403,6 +406,9 @@ func TestExportRoundTrip(t *testing.T) {
 	}
 	if pl2.Name(ids["v7"]) != "v7" {
 		t.Error("names lost in round trip")
+	}
+	if got := pl2.SchedulePolicy(ids["v3"]); got != stgq.ShareFriends {
+		t.Errorf("policy lost in round trip: %v", got)
 	}
 }
 
