@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke race
+.PHONY: check build test vet fmt-check fmt bench bench-smoke race e2e-failover
 
 check: fmt-check vet build test
 
@@ -35,3 +35,11 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
 	$(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway
+
+# The leader-kill acceptance scenario: auto-failover promotes a follower,
+# writes resume at the new epoch with zero acknowledged loss, and the
+# revived old leader stays fenced. The test also runs inside plain `make
+# test` (it only skips under -short); this target is the explicit,
+# uncached (-count=1), verbose handle for CI and operators.
+e2e-failover:
+	$(GO) test -run='^TestGatewayAutoFailover$$' -count=1 -v ./internal/gateway

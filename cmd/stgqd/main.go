@@ -29,6 +29,10 @@
 // serves queries from the replayed state, and rejects mutations with 403
 // plus a leader redirect hint (-advertise overrides the advertised URL).
 // A follower restarted with the same -data-dir resumes from its own disk.
+// When the leader dies, POST /promote (issued by an operator or by stgqgw
+// -auto-failover) turns the follower into the new leader in place: it
+// re-opens its store writable at epoch+1, which fences the dead leader's
+// replication stream should it come back.
 package main
 
 import (
@@ -92,6 +96,9 @@ func main() {
 			log.Fatal("stgqd: -data cannot be combined with -follow (the follower's state comes from the leader)")
 		}
 		var err error
+		// No PromotedStore override: on POST /promote the follower
+		// re-opens with these same flags minus its serial-applier
+		// MaxWait tuning (the promoted leader group-commits).
 		follower, err = replica.NewFollower(replica.Config{
 			LeaderURL: *follow,
 			Dir:       *dataDir,
@@ -182,12 +189,7 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		if store != nil {
-			store.Close()
-		}
-		if follower != nil {
-			follower.Close()
-		}
+		srv.CloseState() //nolint:errcheck // about to exit
 		log.Fatalf("stgqd: %v", err)
 	case <-ctx.Done():
 	}
@@ -202,22 +204,19 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("stgqd: drain: %v", err)
 	}
-	if store != nil {
-		// A close error (e.g. the final snapshot skipped because a
-		// straggler outlived the drain) is not a crash: everything
-		// acknowledged is already fsynced in the journal and the next
-		// boot replays it.
-		if err := store.Close(); err != nil {
-			log.Printf("stgqd: journal close: %v (journal remains authoritative)", err)
-		}
-	}
-	if follower != nil {
+	if followerDone != nil {
 		// The replication loop saw the same ctx cancellation; wait for
-		// it to unwind before closing the follower's store.
+		// it to unwind before closing the durable state.
 		<-followerDone
-		if err := follower.Close(); err != nil {
-			log.Printf("stgqd: follower close: %v (journal remains authoritative)", err)
-		}
+	}
+	// The server owns whatever durable state is current — the store or
+	// follower it started with, or the store a runtime POST /promote
+	// re-opened. A close error (e.g. the final snapshot skipped because a
+	// straggler outlived the drain) is not a crash: everything
+	// acknowledged is already fsynced in the journal and the next boot
+	// replays it.
+	if err := srv.CloseState(); err != nil {
+		log.Printf("stgqd: close: %v (journal remains authoritative)", err)
 	}
 	fmt.Println("stgqd: bye")
 }

@@ -17,6 +17,13 @@
 // leader rather than failing. GET /gateway/status reports the gateway's
 // view of the pool. SIGINT/SIGTERM stop the prober and drain in-flight
 // requests before exiting.
+//
+// With -auto-failover <grace>, a cluster whose leader has been
+// unreachable for the grace period is failed over automatically: the
+// gateway promotes the most caught-up healthy follower (POST /promote)
+// and adopts it at its new, higher epoch; a revived old leader is fenced
+// (lower epoch) and ignored. While no leader is known, mutations fail
+// fast with 503 + Retry-After instead of dialing the dead leader.
 package main
 
 import (
@@ -40,6 +47,7 @@ func main() {
 		backends   = flag.String("backends", "", "comma-separated backend base URLs (leader and followers, roles are probed)")
 		maxLag     = flag.Duration("max-lag", 0, "default read-staleness bound (0: unbounded; per-request override: X-STGQ-Max-Lag-Seconds)")
 		probeEvery = flag.Duration("probe-every", gateway.DefaultProbeInterval, "backend /status polling interval")
+		failAfter  = flag.Duration("auto-failover", 0, "promote the most caught-up follower after the leader has been unreachable this long (0: manual failover only)")
 		drainFor   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
@@ -48,6 +56,7 @@ func main() {
 		Backends:      strings.Split(*backends, ","),
 		MaxLag:        *maxLag,
 		ProbeInterval: *probeEvery,
+		AutoFailover:  *failAfter,
 	})
 	if err != nil {
 		log.Fatalf("stgqgw: %v (use -backends url,url,...)", err)

@@ -35,6 +35,13 @@ type health struct {
 	// Role is the backend's self-reported role: "leader", "follower", or
 	// "" (in-memory).
 	Role string
+	// Epoch is the backend's leader epoch: the fencing generation of the
+	// durable history it serves, bumped on every promotion. Leader claims
+	// are ordered by (Epoch, DurableSeq) — a revived dead leader keeps
+	// its old epoch, so it can never outrank the promoted follower no
+	// matter how long its orphaned history is. Durable backends from
+	// before epochs existed are normalized to 1; 0 means in-memory.
+	Epoch uint64
 	// DurableSeq is the backend's durable (leader) or applied (follower)
 	// sequence number — the uniform replication coordinate staleness
 	// estimates compare.
@@ -79,6 +86,7 @@ type BackendStatus struct {
 	// StalenessSeconds estimates how far behind the leader the backend's
 	// state is (0 = caught up; -1 = unknown).
 	StalenessSeconds float64 `json:"stalenessSeconds"`
+	Epoch            uint64  `json:"epoch,omitempty"`
 	DurableSeq       uint64  `json:"durableSeq"`
 	Pending          int64   `json:"pending"`
 	Served           uint64  `json:"served"`

@@ -1,0 +1,270 @@
+package gateway_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/journal"
+	"repro/internal/replica"
+	"repro/internal/service"
+)
+
+// serveOn starts an httptest server on a pre-created listener, so a URL
+// can be known (or reused after a kill) before the handler exists.
+func serveOn(l net.Listener, h http.Handler) *httptest.Server {
+	ts := httptest.NewUnstartedServer(h)
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	return ts
+}
+
+func listen(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestGatewayAutoFailover is the acceptance e2e (make e2e-failover): a
+// durable leader and two followers — chained through the gateway — serve
+// a mutating workload; the leader is killed; the gateway's auto-failover
+// promotes the most caught-up follower and writes resume at epoch 2 with
+// zero acknowledged writes lost; the revived old leader, carrying a
+// longer orphaned history at epoch 1, stays fenced.
+func TestGatewayAutoFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover e2e skipped in -short mode")
+	}
+
+	// Leader on a fixed address so its revival can reuse it.
+	ldir := t.TempDir()
+	ll := listen(t, "127.0.0.1:0")
+	leaderAddr := ll.Addr().String()
+	stA, err := journal.Open(ldir, journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := serveOn(ll, service.NewWithStore(stA))
+	leaderURL := tsA.URL
+	leaderAlive := true
+	t.Cleanup(func() {
+		if leaderAlive {
+			stA.Close()
+			tsA.Close()
+		}
+	})
+
+	// The gateway's address must exist before the followers, which chain
+	// their replication through it (the PR 3 stream proxy): that is what
+	// lets them re-home to a promoted leader without reconfiguration.
+	gl := listen(t, "127.0.0.1:0")
+	gwURL := "http://" + gl.Addr().String()
+
+	type fh struct {
+		fo   *replica.Follower
+		ts   *httptest.Server
+		srv  *service.Server
+		stop func()
+	}
+	startF := func() *fh {
+		fo, err := replica.NewFollower(replica.Config{
+			LeaderURL:  gwURL,
+			Dir:        t.TempDir(),
+			MinBackoff: 5 * time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := service.NewFollower(fo, gwURL)
+		ts := httptest.NewServer(srv)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { fo.Run(ctx); close(done) }()
+		h := &fh{fo: fo, ts: ts, srv: srv}
+		h.stop = func() {
+			cancel()
+			<-done
+			h.srv.CloseState() // closes the follower, or the promoted store
+			ts.Close()
+		}
+		t.Cleanup(h.stop)
+		return h
+	}
+	f1, f2 := startF(), startF()
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:      []string{leaderURL, f1.ts.URL, f2.ts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		AutoFailover:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gctx, gcancel := context.WithCancel(context.Background())
+	gdone := make(chan struct{})
+	go func() { gw.Run(gctx); close(gdone) }()
+	gts := serveOn(gl, gw)
+	t.Cleanup(func() {
+		gcancel()
+		<-gdone
+		gw.StopStreams()
+		gts.Close()
+	})
+
+	// A serial mutating workload through the gateway; every 200 is an
+	// acknowledged, fsynced write the cluster must never lose.
+	acked := 0
+	mutate := func() bool {
+		resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+			map[string]any{"name": "w"}, nil)
+		if resp.StatusCode == http.StatusOK {
+			acked++
+			return true
+		}
+		return false
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for acked < 25 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workload never started flowing (acked %d)", acked)
+		}
+		if !mutate() {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Quiesce: with async replication, acked-but-unreplicated writes die
+	// with the leader by design; the zero-loss contract holds for writes
+	// the surviving replicas have. Let both followers fully catch up, so
+	// every acked write is promotable.
+	for f1.fo.Status().AppliedSeq < stA.LastSeq() || f2.fo.Status().AppliedSeq < stA.LastSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never caught up: %d/%d of %d",
+				f1.fo.Status().AppliedSeq, f2.fo.Status().AppliedSeq, stA.LastSeq())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the leader (store first: ends in-flight long-polls).
+	stA.Close()
+	tsA.Close()
+	leaderAlive = false
+
+	// Mutations keep being attempted; they must start succeeding again
+	// once the gateway promotes a follower — and in between, failures
+	// must include the fast 503 + Retry-After shape.
+	saw503 := false
+	resumed := false
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+			map[string]any{"name": "w"}, nil)
+		if resp.StatusCode == http.StatusOK {
+			acked++
+			resumed = true
+			break
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+			saw503 = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !resumed {
+		t.Fatalf("writes never resumed after leader kill: %+v", gw.Status())
+	}
+	if !saw503 {
+		t.Fatal("leaderless window never answered with 503 + Retry-After")
+	}
+
+	gwst := gw.Status()
+	var promoted, survivor *fh
+	switch gwst.Leader {
+	case f1.ts.URL:
+		promoted, survivor = f1, f2
+	case f2.ts.URL:
+		promoted, survivor = f2, f1
+	default:
+		t.Fatalf("adopted leader %q is not a promoted follower: %+v", gwst.Leader, gwst)
+	}
+	if gwst.LeaderEpoch != 2 {
+		t.Fatalf("gateway fencing floor at epoch %d after failover, want 2", gwst.LeaderEpoch)
+	}
+	if gwst.Failovers == 0 {
+		t.Fatalf("gateway reports no driven failover: %+v", gwst)
+	}
+
+	// Keep writing through the new leader.
+	for i := 0; i < 15; i++ {
+		if !mutate() {
+			t.Fatalf("write %d through the promoted leader failed", i)
+		}
+	}
+	// Zero acknowledged-write loss: every acked /people landed on the
+	// history now serving.
+	if got := promoted.fo.Planner().NumPeople(); got != acked {
+		t.Fatalf("promoted leader has %d people, %d writes were acknowledged", got, acked)
+	}
+
+	// The surviving follower re-homes through the gateway onto the new
+	// leader's stream and adopts epoch 2.
+	deadline = time.Now().Add(15 * time.Second)
+	for survivor.fo.Status().AppliedSeq < uint64(acked) || survivor.fo.Status().Epoch != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never re-homed to the promoted leader: %+v", survivor.fo.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Revive the old leader on its original address — with an even longer
+	// history: orphaned writes it acknowledged to nobody via the gateway.
+	// Epoch fencing, not history length, must decide leadership.
+	stA2, err := journal.Open(ldir, journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := stA2.Planner().AddPerson("orphan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stA2.LastSeq() <= promoted.fo.JournalStats().LastSeq {
+		t.Fatalf("test setup: revived history (%d) should outrun the promoted one (%d)",
+			stA2.LastSeq(), promoted.fo.JournalStats().LastSeq)
+	}
+	tsA2 := serveOn(listen(t, leaderAddr), service.NewWithStore(stA2))
+	t.Cleanup(func() { stA2.Close(); tsA2.Close() })
+
+	// Give the prober several rounds to (not) change its mind.
+	time.Sleep(200 * time.Millisecond)
+	gwst = gw.Status()
+	if gwst.Leader != promoted.ts.URL {
+		t.Fatalf("revived epoch-1 leader won leadership back: %+v", gwst)
+	}
+	for _, b := range gwst.Backends {
+		if b.URL == leaderURL && b.Healthy && b.Epoch != 1 {
+			t.Fatalf("revived leader's epoch misprobed: %+v", b)
+		}
+	}
+	// Mutations still land on the promoted leader.
+	resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "w"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write with the fenced leader revived: status %d", resp.StatusCode)
+	}
+	acked++
+	if got := resp.Header.Get(gateway.BackendHeader); got != promoted.ts.URL {
+		t.Fatalf("write served by %q, want the promoted leader %q", got, promoted.ts.URL)
+	}
+	if got := promoted.fo.Planner().NumPeople(); got != acked {
+		t.Fatalf("promoted leader has %d people after revival, want %d", got, acked)
+	}
+}

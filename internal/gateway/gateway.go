@@ -36,6 +36,21 @@
 // definition current — is the fallback, so a bounded read degrades to the
 // leader rather than failing. Reads never silently fall below the bound:
 // a backend admitted by the estimate can only be fresher than estimated.
+//
+// # Failover
+//
+// Every durable backend reports a leader epoch — a fencing generation
+// bumped on promotion — and the gateway orders leader claims by (epoch,
+// durableSeq), remembering the highest epoch it has seen on any healthy
+// backend. A revived dead leader therefore cannot win the leadership
+// back: its epoch is stale no matter how long its orphaned history is.
+// When the adopted leader probes unhealthy and no other claimant exists,
+// the gateway forgets it and answers mutations with an immediate 503 +
+// Retry-After instead of dialing a dead URL. With Config.AutoFailover
+// set (stgqgw -auto-failover), a cluster that stays leaderless past the
+// grace period triggers a promotion: the prober POSTs /promote to the
+// most caught-up healthy follower and adopts it at its new, higher
+// epoch.
 package gateway
 
 import (
@@ -63,6 +78,14 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe request (default 2s).
 	ProbeTimeout time.Duration
+	// AutoFailover, when positive, makes the gateway drive failover
+	// itself: once the cluster has had no healthy leader for this grace
+	// period, the prober promotes the most caught-up healthy follower
+	// (POST /promote) and adopts it. 0 (the default) leaves promotion to
+	// the operator. The grace period must comfortably exceed the probe
+	// interval plus any plausible leader GC/restart pause — promoting
+	// while the leader is merely slow forks the history.
+	AutoFailover time.Duration
 	// Client issues the proxied requests; a default client without a
 	// global timeout (replication streams long-poll) when nil.
 	Client *http.Client
@@ -80,11 +103,22 @@ type Gateway struct {
 	probeClient  *http.Client
 
 	// leader is the current write endpoint: the probed leader, or the
-	// most recent 403 redirect hint — whichever arrived last.
+	// most recent 403 redirect hint — whichever arrived last ("" when
+	// the last known leader died and nothing has replaced it yet).
 	leader atomic.Value // string
 
-	mu    sync.Mutex // guards marks
+	autoFailover time.Duration
+
+	mu    sync.Mutex // guards marks and the failover state below
 	marks []watermark
+	// maxEpoch is the highest leader epoch observed on any healthy
+	// backend — the fencing floor below which leader claims are ignored.
+	maxEpoch uint64
+	// leaderSeenAt is when a healthy leader was last adopted (zero:
+	// never); the auto-failover grace period counts from it.
+	leaderSeenAt time.Time
+	failovers    uint64
+	lastFailover string
 
 	// drainCh, once closed by StopStreams, cancels every proxied
 	// replication stream so a server Shutdown never has to wait out
@@ -103,6 +137,7 @@ func New(cfg Config) (*Gateway, error) {
 		maxLag:       cfg.MaxLag.Seconds(),
 		probeEvery:   cfg.ProbeInterval,
 		probeTimeout: cfg.ProbeTimeout,
+		autoFailover: cfg.AutoFailover,
 		client:       cfg.Client,
 		drainCh:      make(chan struct{}),
 	}
@@ -224,9 +259,15 @@ func (g *Gateway) backendFor(url string) *Backend {
 //
 // A bounded read never reaches tier 3: with no eligible follower and no
 // leader it returns nil (503) rather than silently violating the client's
-// freshness contract.
+// freshness contract. Fenced followers — durable backends whose epoch is
+// below the observed floor — are never picked at any tier: their state is
+// an orphaned timeline from before a failover, and the watermark clock
+// (truncated to the new history) would report them as caught up.
 func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
 	leaderURL := g.leaderURL()
+	g.mu.Lock()
+	floor := g.maxEpoch
+	g.mu.Unlock()
 	var best *Backend
 	var bestPending int64
 	for _, b := range g.backends {
@@ -234,7 +275,7 @@ func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
 			continue
 		}
 		h := b.health()
-		if !h.Healthy || h.Role != "follower" {
+		if !h.Healthy || h.Role != "follower" || h.Epoch < floor {
 			continue
 		}
 		if bound >= 0 {
@@ -259,8 +300,9 @@ func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
 		if b == exclude || b.URL == leaderURL {
 			continue
 		}
-		if h := b.health(); !h.Healthy {
-			continue
+		h := b.health()
+		if !h.Healthy || (h.Epoch > 0 && h.Epoch < floor) {
+			continue // fenced durable backend; in-memory (epoch 0) stays eligible
 		}
 		if p := b.pending.Load(); best == nil || p < bestPending {
 			best, bestPending = b, p
@@ -273,14 +315,33 @@ func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
 type StatusResponse struct {
 	// Leader is the current write endpoint ("" when none known).
 	Leader string `json:"leader,omitempty"`
+	// LeaderEpoch is the fencing floor: the highest epoch observed on
+	// any healthy backend. Leader claims below it are ignored.
+	LeaderEpoch uint64 `json:"leaderEpoch,omitempty"`
 	// MaxLagSeconds is the default read bound (-1 = unbounded).
-	MaxLagSeconds float64         `json:"maxLagSeconds"`
-	Backends      []BackendStatus `json:"backends"`
+	MaxLagSeconds float64 `json:"maxLagSeconds"`
+	// AutoFailoverSeconds is the leaderless grace period before the
+	// gateway promotes a follower itself (0 = disabled).
+	AutoFailoverSeconds float64 `json:"autoFailoverSeconds,omitempty"`
+	// Failovers counts promotions this gateway has driven; LastFailover
+	// describes the most recent auto-failover decision.
+	Failovers    uint64          `json:"failovers,omitempty"`
+	LastFailover string          `json:"lastFailover,omitempty"`
+	Backends     []BackendStatus `json:"backends"`
 }
 
 // Status reports the gateway's current view of the pool.
 func (g *Gateway) Status() StatusResponse {
-	resp := StatusResponse{Leader: g.leaderURL(), MaxLagSeconds: g.maxLag}
+	resp := StatusResponse{
+		Leader:              g.leaderURL(),
+		MaxLagSeconds:       g.maxLag,
+		AutoFailoverSeconds: g.autoFailover.Seconds(),
+	}
+	g.mu.Lock()
+	resp.LeaderEpoch = g.maxEpoch
+	resp.Failovers = g.failovers
+	resp.LastFailover = g.lastFailover
+	g.mu.Unlock()
 	for _, b := range g.backends {
 		h := b.health()
 		bs := BackendStatus{
@@ -288,6 +349,7 @@ func (g *Gateway) Status() StatusResponse {
 			Role:             h.Role,
 			Healthy:          h.Healthy,
 			StalenessSeconds: -1,
+			Epoch:            h.Epoch,
 			DurableSeq:       h.DurableSeq,
 			Pending:          b.pending.Load(),
 			Served:           b.served.Load(),

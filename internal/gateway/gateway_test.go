@@ -673,3 +673,230 @@ func BenchmarkGatewayProxyOverhead(b *testing.B) {
 	b.Run("direct", func(b *testing.B) { run(b, backend.URL) })
 	b.Run("proxied", func(b *testing.B) { run(b, gts.URL) })
 }
+
+// TestGatewayClearsDeadLeader is the dead-leader routing regression test:
+// once the adopted leader has been unhealthy for a full probe round (and
+// no replacement claims leadership), the gateway must forget it and fail
+// mutations fast with 503 + Retry-After — not keep dialing the dead URL
+// until the connection error surfaces as a 502.
+func TestGatewayClearsDeadLeader(t *testing.T) {
+	leader := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 5, Epoch: 1}, nil)
+	follower := fakeBackend(t,
+		service.StatusResponse{Role: "follower", Healthy: true, DurableSeq: 5, Epoch: 1},
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{}`)
+		})
+
+	gw, err := gateway.New(gateway.Config{Backends: []string{leader.URL, follower.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background())
+	if gw.Status().Leader != leader.URL {
+		t.Fatalf("gateway never adopted the leader: %+v", gw.Status())
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	leader.Close()                     // leader dies
+	gw.ProbeOnce(context.Background()) // one full round observes it unhealthy
+
+	if got := gw.Status().Leader; got != "" {
+		t.Fatalf("dead leader still adopted after a full probe round: %q", got)
+	}
+	start := time.Now()
+	resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "eve"}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation against a dead leader: status %d (%s), want fast 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 carries no Retry-After hint")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("dead-leader 503 took %v, want a fast failure", elapsed)
+	}
+	// Reads keep working off the follower throughout.
+	resp, body = doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/group",
+		map[string]any{"initiator": 0, "p": 2, "s": 1, "k": 1}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read during leader outage: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestGatewayPrefersHigherEpochLeader pins the split-brain fix: with two
+// leader claimants, the higher epoch must win even when the lower-epoch
+// claimant (a revived dead leader) has the longer — orphaned — history.
+// The old comparison by bare durableSeq would adopt the wrong one.
+func TestGatewayPrefersHigherEpochLeader(t *testing.T) {
+	revived := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 100, Epoch: 1}, nil)
+	promoted := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 50, Epoch: 2},
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"id":1}`)
+		})
+
+	gw, err := gateway.New(gateway.Config{Backends: []string{revived.URL, promoted.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background())
+	if got := gw.Status().Leader; got != promoted.URL {
+		t.Fatalf("adopted %q, want the epoch-2 leader %q (split brain)", got, promoted.URL)
+	}
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+	resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "eve"}, nil)
+	if got := resp.Header.Get(gateway.BackendHeader); got != promoted.URL {
+		t.Fatalf("mutation went to %q, want the promoted leader", got)
+	}
+
+	// Even with the promoted leader gone, the stale claimant must stay
+	// fenced — the gateway remembers the highest epoch it has seen and
+	// reports no leader rather than handing writes to a dead timeline.
+	promoted.Close()
+	gw.ProbeOnce(context.Background())
+	if got := gw.Status().Leader; got != "" {
+		t.Fatalf("fenced epoch-1 leader re-adopted after the epoch-2 leader died: %q", got)
+	}
+}
+
+// TestGatewayAutoFailoverSkipsFencedFollower: a follower whose epoch is
+// below the gateway's fencing floor (it never re-homed after an earlier
+// failover) must not be auto-promoted — its bump would land exactly ON
+// the floor and resurrect the fenced timeline, losing every write the
+// real current epoch acknowledged.
+func TestGatewayAutoFailoverSkipsFencedFollower(t *testing.T) {
+	leader := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 50, Epoch: 2}, nil)
+	promoteCalls := 0
+	stale := fakeBackendDyn(t, func() service.StatusResponse {
+		return service.StatusResponse{Role: "follower", Healthy: true, DurableSeq: 100, Epoch: 1}
+	}, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/promote" {
+			promoteCalls++
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"role":"leader","epoch":2,"durableSeq":100}`)
+	})
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:     []string{leader.URL, stale.URL},
+		AutoFailover: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background()) // floor reaches epoch 2
+	leader.Close()                     // the epoch-2 leader dies
+	for i := 0; i < 3; i++ {
+		time.Sleep(5 * time.Millisecond) // comfortably past the grace
+		gw.ProbeOnce(context.Background())
+	}
+	if promoteCalls != 0 {
+		t.Fatalf("gateway promoted a fenced epoch-1 follower %d time(s)", promoteCalls)
+	}
+	if got := gw.Status().Leader; got != "" {
+		t.Fatalf("gateway adopted a leader with none eligible: %q", got)
+	}
+}
+
+// TestGatewayReadsSkipFencedFollower: a follower left behind on a fenced
+// timeline (epoch below the floor) must receive no reads — the watermark
+// clock was truncated to the new history, so its orphaned seq 100 would
+// otherwise read as "fully caught up" and even zero-staleness requests
+// would be served lost writes.
+func TestGatewayReadsSkipFencedFollower(t *testing.T) {
+	var fencedHits int
+	fenced := fakeBackend(t,
+		service.StatusResponse{Role: "follower", Healthy: true, DurableSeq: 100, Epoch: 1},
+		func(w http.ResponseWriter, r *http.Request) {
+			fencedHits++
+			w.WriteHeader(http.StatusOK)
+		})
+	leader := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 50, Epoch: 2},
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{}`)
+		})
+
+	gw, err := gateway.New(gateway.Config{Backends: []string{fenced.URL, leader.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background())
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	for _, hdr := range []map[string]string{nil, {gateway.MaxLagHeader: "0"}} {
+		resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/group",
+			map[string]any{"initiator": 0, "p": 2, "s": 1, "k": 1}, hdr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read (hdr %v): status %d (%s)", hdr, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get(gateway.BackendHeader); got != leader.URL {
+			t.Fatalf("read (hdr %v) served by %s, want the epoch-2 leader", hdr, got)
+		}
+	}
+	if fencedHits != 0 {
+		t.Fatalf("fenced follower served %d reads", fencedHits)
+	}
+}
+
+// TestGatewayClearsDeadHintLeader: a 403-hint-adopted leader that is not
+// in the configured pool must still be forgotten when it dies — the
+// clearing logic probes it directly instead of skipping URLs without a
+// pool entry.
+func TestGatewayClearsDeadHintLeader(t *testing.T) {
+	hinted := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 9, Epoch: 1},
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"id":7}`)
+		})
+	// The pool backend claims leadership until the hint is adopted, then
+	// settles as a follower (it was demoted; the real leader moved to an
+	// -advertise URL the pool does not list).
+	role := "leader"
+	exLeader := fakeBackendDyn(t, func() service.StatusResponse {
+		return service.StatusResponse{Role: role, Healthy: true, DurableSeq: 9, Epoch: 1}
+	}, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-STGQ-Leader", hinted.URL)
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, `{"error":"read-only follower"}`)
+	})
+
+	gw, err := gateway.New(gateway.Config{Backends: []string{exLeader.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background())
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+	// Adopt the out-of-pool leader through the redirect.
+	if resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "eve"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation via hint: status %d (%s)", resp.StatusCode, body)
+	}
+	if gw.Status().Leader != hinted.URL {
+		t.Fatalf("hint leader not adopted: %+v", gw.Status())
+	}
+	role = "follower"
+
+	hinted.Close()
+	gw.ProbeOnce(context.Background()) // probes the out-of-pool URL directly
+	if got := gw.Status().Leader; got != "" {
+		t.Fatalf("dead out-of-pool hint leader still adopted: %q", got)
+	}
+	resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "eve"}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("mutation after hint-leader death: status %d, want fast 503 + Retry-After", resp.StatusCode)
+	}
+}

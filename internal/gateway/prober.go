@@ -19,6 +19,11 @@ const (
 	// DefaultProbeTimeout bounds one probe request; a backend that cannot
 	// answer /status within it is unhealthy.
 	DefaultProbeTimeout = 2 * time.Second
+	// promoteTimeout bounds one POST /promote during auto-failover. A
+	// promotion closes the follower's store (final snapshot included) and
+	// re-opens it with a full recovery, so it is allowed far longer than
+	// a probe.
+	promoteTimeout = 30 * time.Second
 	// maxWatermarks bounds the retained leader-seq timeline. At the
 	// default probe interval that is over four minutes of history; a
 	// follower behind the oldest retained mark is at least that stale,
@@ -65,23 +70,173 @@ func (g *Gateway) ProbeOnce(ctx context.Context) {
 		}(b)
 	}
 	wg.Wait()
+	now := time.Now()
 
-	// Adopt the healthiest self-reported leader. With two claimants (a
-	// failover's stale ex-leader still up) the higher durable sequence
-	// number wins: mutations must go to the history that moved on.
+	// The fencing floor: the highest epoch any healthy backend reports,
+	// remembered across rounds. A leader claim below it describes a
+	// history that has already been superseded by a promotion — adopting
+	// it would route mutations onto a fenced timeline. This is what
+	// fences a revived dead leader: it keeps its old epoch, so not even
+	// a longer (orphaned) history lets it outrank the promoted follower.
+	var maxEpoch uint64
+	for _, b := range g.backends {
+		if h := b.health(); h.Healthy && h.Epoch > maxEpoch {
+			maxEpoch = h.Epoch
+		}
+	}
+	g.mu.Lock()
+	g.maxEpoch = max(g.maxEpoch, maxEpoch)
+	maxEpoch = g.maxEpoch
+	g.mu.Unlock()
+
+	// Adopt the best self-reported leader by (epoch, durableSeq): epochs
+	// order histories, the sequence number only breaks ties within one.
 	var leaderURL string
-	var leaderSeq uint64
+	var leaderEpoch, leaderSeq uint64
 	found := false
 	for _, b := range g.backends {
 		h := b.health()
-		if h.Healthy && h.Role == "leader" && (!found || h.DurableSeq > leaderSeq) {
-			leaderURL, leaderSeq, found = b.URL, h.DurableSeq, true
+		if !h.Healthy || h.Role != "leader" || h.Epoch < maxEpoch {
+			continue
+		}
+		if !found || h.Epoch > leaderEpoch || (h.Epoch == leaderEpoch && h.DurableSeq > leaderSeq) {
+			leaderURL, leaderEpoch, leaderSeq, found = b.URL, h.Epoch, h.DurableSeq, true
 		}
 	}
 	if found {
 		g.leader.Store(leaderURL)
-		g.noteLeaderSeq(leaderSeq, time.Now())
+		g.noteLeaderSeq(leaderSeq, now)
+		g.mu.Lock()
+		g.leaderSeenAt = now
+		g.mu.Unlock()
+		return
 	}
+
+	// No healthy leader in the pool this round. If the adopted write
+	// endpoint just probed unhealthy, forget it: keeping it would proxy
+	// every mutation to a dead URL until the dial fails, when a fast
+	// 503 + Retry-After tells clients to back off and come back after
+	// failover. A 403-hint-adopted leader outside the configured pool
+	// has no pool entry to consult, so it is probed directly here —
+	// nothing else ever health-checks it.
+	if cur := g.leaderURL(); cur != "" {
+		if b := g.backendFor(cur); b != nil {
+			if h := b.health(); h.Probed && !h.Healthy {
+				g.leader.Store("")
+			}
+		} else if h := g.probe(ctx, &Backend{URL: cur}); h.Healthy && h.Role == "leader" && h.Epoch >= maxEpoch {
+			// Alive, still leading and at (or above) the fencing floor,
+			// merely unlisted: it counts as a seen leader, so
+			// auto-failover must not promote against it. A claim below
+			// the floor is a revived fenced ex-leader and falls through
+			// to be forgotten like any dead one.
+			g.mu.Lock()
+			g.leaderSeenAt = now
+			g.mu.Unlock()
+			return
+		} else {
+			g.leader.Store("")
+		}
+	}
+	g.maybeFailover(ctx, now)
+}
+
+// maybeFailover promotes the most caught-up healthy follower once the
+// cluster has been leaderless for the configured grace period. Called at
+// the end of every leaderless probe round; a no-op unless auto-failover
+// is enabled.
+func (g *Gateway) maybeFailover(ctx context.Context, now time.Time) {
+	if g.autoFailover <= 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.leaderSeenAt.IsZero() {
+		// Leaderless from the first round (the leader died before this
+		// gateway started): the grace period counts from now.
+		g.leaderSeenAt = now
+	}
+	due := now.Sub(g.leaderSeenAt) >= g.autoFailover
+	floor := g.maxEpoch
+	g.mu.Unlock()
+	if !due {
+		return
+	}
+	// The most caught-up healthy follower by (epoch, durableSeq): its
+	// history is the longest surviving prefix of the dead leader's, so
+	// promoting it loses the fewest replicated-but-unserved records —
+	// and nothing acknowledged to a client that the cluster still holds.
+	// Followers below the fencing floor are not candidates at all: their
+	// history was superseded by an earlier promotion they never re-homed
+	// onto, and promoting one (its bump would land exactly ON the floor,
+	// slipping past the adoption filter) would resurrect the fenced
+	// timeline and drop every write the real current epoch acknowledged.
+	var cand *Backend
+	var candEpoch, candSeq uint64
+	for _, b := range g.backends {
+		h := b.health()
+		if !h.Healthy || h.Role != "follower" || h.Epoch < floor {
+			continue
+		}
+		if cand == nil || h.Epoch > candEpoch || (h.Epoch == candEpoch && h.DurableSeq > candSeq) {
+			cand, candEpoch, candSeq = b, h.Epoch, h.DurableSeq
+		}
+	}
+	if cand == nil {
+		g.noteFailover("auto-failover pending: no promotable follower (none healthy at the current epoch)", false)
+		return // retry every round until a candidate appears
+	}
+	// One promotion attempt per grace window: restart the clock before
+	// issuing the call so a slow promotion is not re-fired against a
+	// second follower by the next probe round (two same-epoch leaders).
+	g.mu.Lock()
+	g.leaderSeenAt = now
+	g.mu.Unlock()
+	if err := g.promote(ctx, cand); err != nil {
+		g.noteFailover("promote "+cand.URL+": "+err.Error(), false)
+		return
+	}
+	g.noteFailover("promoted "+cand.URL, true)
+	// Adopt the new leader immediately instead of waiting a probe round.
+	cand.setHealth(g.probe(ctx, cand))
+	if h := cand.health(); h.Healthy && h.Role == "leader" {
+		g.leader.Store(cand.URL)
+		g.noteLeaderSeq(h.DurableSeq, time.Now())
+		g.mu.Lock()
+		g.maxEpoch = max(g.maxEpoch, h.Epoch)
+		g.leaderSeenAt = time.Now()
+		g.mu.Unlock()
+	}
+}
+
+// promote issues one POST /promote against a follower backend.
+func (g *Gateway) promote(ctx context.Context, b *Backend) error {
+	ctx, cancel := context.WithTimeout(ctx, promoteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/promote", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.probeClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s: %s", resp.Status, body)
+	}
+	return nil
+}
+
+// noteFailover records the outcome of the latest auto-failover decision
+// for GET /gateway/status.
+func (g *Gateway) noteFailover(msg string, promoted bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if promoted {
+		g.failovers++
+	}
+	g.lastFailover = msg
 }
 
 // probe fetches one backend's /status.
@@ -113,6 +268,12 @@ func (g *Gateway) probe(ctx context.Context, b *Backend) health {
 	h.Healthy = st.Healthy
 	h.Role = st.Role
 	h.DurableSeq = st.DurableSeq
+	h.Epoch = st.Epoch
+	if h.Epoch == 0 && h.Role != "" {
+		// A durable backend from before epochs existed: its history is
+		// the first (and so far only) generation.
+		h.Epoch = 1
+	}
 	return h
 }
 

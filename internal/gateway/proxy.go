@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -85,7 +86,7 @@ func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
 	}
 	target := g.leaderURL()
 	if target == "" {
-		writeError(w, http.StatusServiceUnavailable, "gateway: no leader known")
+		g.noLeader(w)
 		return
 	}
 	var p *proxied
@@ -116,7 +117,7 @@ func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) forwardStream(w http.ResponseWriter, r *http.Request) {
 	target := g.leaderURL()
 	if target == "" {
-		writeError(w, http.StatusServiceUnavailable, "gateway: no leader known")
+		g.noLeader(w)
 		return
 	}
 	ctx, cancel := context.WithCancel(r.Context())
@@ -159,6 +160,20 @@ func (g *Gateway) forwardStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// noLeader answers a request that needs the write endpoint while none is
+// known — the leader died (the prober forgot it) or was never discovered.
+// The 503 is immediate rather than a doomed dial at the dead URL, and
+// Retry-After points clients past the next probe round, by when a
+// failover may have produced a new leader.
+func (g *Gateway) noLeader(w http.ResponseWriter) {
+	retry := int(math.Ceil(g.probeEvery.Seconds()))
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusServiceUnavailable, "gateway: no healthy leader known (dead or failing over); retry shortly")
 }
 
 // doVia proxies through a pool backend, maintaining its load counters.

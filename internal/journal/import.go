@@ -35,7 +35,7 @@ func ImportDataset(dir string, ds *dataset.Dataset) error {
 	if !empty {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, dir)
 	}
-	return seedDir(dir, 0, ds)
+	return seedDir(dir, 0, 1, 0, ds)
 }
 
 // resetMarkerName flags a ResetFromSnapshot in progress. Any state found
@@ -46,13 +46,16 @@ const resetMarkerName = "RESETTING"
 
 // ResetFromSnapshot replaces whatever durable state dir holds with the
 // given snapshot: every segment, snapshot and meta file is removed, then
-// the dataset is written as the snapshot for seq. A replication follower
-// uses it to bootstrap from the leader when its own position has been
-// compacted away. The store of dir must be closed. The wipe-and-seed runs
-// under a durable RESETTING marker: a crash anywhere inside leaves the
-// marker behind, and ResetPending/AbortReset let the next boot detect the
-// torso and discard it instead of resuming from half-wiped state.
-func ResetFromSnapshot(dir string, seq uint64, ds *dataset.Dataset) error {
+// the dataset is written as the snapshot for seq at the given leader
+// epoch and epoch fork point (a replication follower adopts both along
+// with the leader's state; epoch 0 is normalized to 1). A replication
+// follower uses it to bootstrap from the leader when its own position
+// has been compacted away. The store of dir must be closed. The
+// wipe-and-seed runs under a durable RESETTING marker: a crash anywhere
+// inside leaves the marker behind, and ResetPending/AbortReset let the
+// next boot detect the torso and discard it instead of resuming from
+// half-wiped state.
+func ResetFromSnapshot(dir string, seq, epoch, epochStart uint64, ds *dataset.Dataset) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -72,7 +75,7 @@ func ResetFromSnapshot(dir string, seq uint64, ds *dataset.Dataset) error {
 	if err := wipeStoreFiles(dir); err != nil {
 		return err
 	}
-	if err := seedDir(dir, seq, ds); err != nil {
+	if err := seedDir(dir, seq, epoch, epochStart, ds); err != nil {
 		return err
 	}
 	if err := os.Remove(filepath.Join(dir, resetMarkerName)); err != nil {
@@ -110,9 +113,11 @@ func AbortReset(dir string) error {
 }
 
 // seedDir writes the meta file and the snapshot that together make dir
-// recover to ds at the given sequence number.
-func seedDir(dir string, seq uint64, ds *dataset.Dataset) error {
-	if err := writeMeta(dir, storeMeta{HorizonSlots: ds.Cal.Horizon()}); err != nil {
+// recover to ds at the given sequence number, epoch and epoch fork
+// point.
+func seedDir(dir string, seq, epoch, epochStart uint64, ds *dataset.Dataset) error {
+	m := storeMeta{HorizonSlots: ds.Cal.Horizon(), Epoch: max(epoch, 1), EpochStartSeq: epochStart}
+	if err := writeMeta(dir, m); err != nil {
 		return err
 	}
 	return writeSnapshot(dir, seq, ds)

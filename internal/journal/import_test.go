@@ -110,7 +110,7 @@ func TestInterruptedResetIsDiscarded(t *testing.T) {
 		t.Fatalf("condemned state survived AbortReset (empty=%v, err=%v)", empty, err)
 	}
 	// And a completed reset leaves no marker behind.
-	if err := ResetFromSnapshot(dir, 9, dataset.Real194(42, 7)); err != nil {
+	if err := ResetFromSnapshot(dir, 9, 1, 0, dataset.Real194(42, 7)); err != nil {
 		t.Fatal(err)
 	}
 	if ResetPending(dir) {
@@ -132,7 +132,7 @@ func TestResetFromSnapshotReplacesState(t *testing.T) {
 	}
 
 	ds := dataset.Real194(7, 7)
-	if err := ResetFromSnapshot(dir, 123, ds); err != nil {
+	if err := ResetFromSnapshot(dir, 123, 3, 99, ds); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := Open(dir, Options{})

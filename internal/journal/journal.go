@@ -36,6 +36,16 @@
 // final record (a crash mid-append) off the last segment. Records are
 // CRC-checked; a corrupt record anywhere but the tail of the final segment
 // aborts recovery rather than silently skipping history.
+//
+// # Leader epochs
+//
+// Alongside the journal, meta.json persists the store's leader epoch — a
+// generation number for the history the journal records. A fresh (or
+// imported) store is epoch 1; BumpEpoch increments it when a replication
+// follower is promoted to leader, and ResetFromSnapshot/AdvanceEpoch let
+// a follower adopt its leader's epoch. Replication uses the epoch to
+// fence superseded leaders (repro/internal/replica); the Store exposes it
+// via Epoch and Stats.
 package journal
 
 import (

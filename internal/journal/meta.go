@@ -8,13 +8,27 @@ import (
 )
 
 // metaFileName holds store-level facts that must survive restarts but are
-// not per-mutation (and so have no journal record): currently the schedule
-// horizon. Without it, journal-only recovery (a crash before the first
-// snapshot) would silently depend on the -horizon flag of the restart.
+// not per-mutation (and so have no journal record): the schedule horizon
+// and the leader epoch. Without the horizon, journal-only recovery (a
+// crash before the first snapshot) would silently depend on the -horizon
+// flag of the restart; without the epoch, a promoted follower could not
+// fence its dead predecessor's replication stream.
 const metaFileName = "meta.json"
 
 type storeMeta struct {
 	HorizonSlots int `json:"horizonSlots"`
+	// Epoch is the store's leader epoch: a monotonically increasing
+	// generation number bumped on every promotion (see BumpEpoch). Every
+	// store is born at epoch 1 — a meta written by an older version omits
+	// the field and loads as 0, which readers normalize to 1.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// EpochStartSeq is the sequence number at which Epoch began — the
+	// fork point of a promotion (the promoted follower's applied
+	// position). Replication streams advertise it so a reconnecting
+	// follower can prove whether its local history is a shared prefix of
+	// the new epoch (applied ≤ fork) or an orphaned tail that must be
+	// rebuilt. 0 for epoch 1 (no promotion ever happened).
+	EpochStartSeq uint64 `json:"epochStartSeq,omitempty"`
 }
 
 func loadMeta(dir string) (storeMeta, bool, error) {
@@ -41,4 +55,32 @@ func writeMeta(dir string, m storeMeta) error {
 		_, err := f.Write(data)
 		return err
 	})
+}
+
+// BumpEpoch durably increments dir's leader epoch and returns the new
+// value — the promotion step that fences the previous leader: replication
+// streams advertise the epoch, and followers reject records from any
+// leader whose epoch is below their own. forkSeq is the promoted store's
+// last applied sequence number: the point where the new epoch's history
+// departs from the old one's, which streams advertise so reconnecting
+// followers can tell a shared prefix from an orphaned tail. The store of
+// dir must be closed (BumpEpoch takes the data-dir lock); the caller
+// re-opens it afterwards to serve writes at the new epoch.
+func BumpEpoch(dir string, forkSeq uint64) (uint64, error) {
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	m, _, err := loadMeta(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := max(m.Epoch, 1) + 1
+	m.Epoch = next
+	m.EpochStartSeq = forkSeq
+	if err := writeMeta(dir, m); err != nil {
+		return 0, fmt.Errorf("journal: meta: %w", err)
+	}
+	return next, nil
 }

@@ -50,6 +50,10 @@ type RecoveryInfo struct {
 // Stats is a point-in-time view of the subsystem, exposed by the service's
 // GET /status.
 type Stats struct {
+	// Epoch is the store's leader epoch (see BumpEpoch): the fencing
+	// coordinate replication and failover compare before trusting a
+	// leader's history.
+	Epoch           uint64 `json:"epoch"`
 	LastSeq         uint64 `json:"lastSeq"`
 	DurableSeq      uint64 `json:"durableSeq"`
 	Batches         uint64 `json:"batches"`
@@ -80,13 +84,16 @@ type Store struct {
 	rec    RecoveryInfo
 	unlock func() // releases the data-dir lock
 
-	seq       atomic.Uint64 // last assigned sequence number
-	sinceSnap atomic.Int64  // mutations since the last snapshot
-	snapshots atomic.Uint64
-	lastSnap  atomic.Uint64
-	snapErr   atomic.Value  // string: last automatic-snapshot failure
-	rejected  atomic.Uint64 // mutations applied in memory but refused a journal record (close stragglers)
-	closed    atomic.Bool
+	epoch      atomic.Uint64 // leader epoch from meta.json (AdvanceEpoch raises it)
+	epochStart atomic.Uint64 // seq at which the epoch began (the promotion fork point)
+	metaMu     sync.Mutex    // serializes meta.json rewrites after Open
+	seq        atomic.Uint64 // last assigned sequence number
+	sinceSnap  atomic.Int64  // mutations since the last snapshot
+	snapshots  atomic.Uint64
+	lastSnap   atomic.Uint64
+	snapErr    atomic.Value  // string: last automatic-snapshot failure
+	rejected   atomic.Uint64 // mutations applied in memory but refused a journal record (close stragglers)
+	closed     atomic.Bool
 
 	snapMu sync.Mutex // serializes snapshot/compaction cycles
 
@@ -162,11 +169,21 @@ func Open(dir string, opts Options) (*Store, error) {
 	default:
 		s.pl = stgq.NewPlanner(opts.HorizonSlots)
 	}
+	// Every store runs at an epoch ≥ 1; metas from before epochs existed
+	// (or absent entirely) are normalized to 1 and rewritten so BumpEpoch
+	// and replication always see an explicit value.
+	if meta.Epoch == 0 {
+		meta.Epoch = 1
+		haveMeta = false
+	}
 	if !haveMeta {
-		if err := writeMeta(dir, storeMeta{HorizonSlots: s.pl.Horizon()}); err != nil {
+		meta.HorizonSlots = s.pl.Horizon()
+		if err := writeMeta(dir, meta); err != nil {
 			return nil, err
 		}
 	}
+	s.epoch.Store(meta.Epoch)
+	s.epochStart.Store(meta.EpochStartSeq)
 	s.rec.SnapshotSeq = snapSeq
 	s.lastSnap.Store(snapSeq)
 
@@ -363,6 +380,39 @@ func (s *Store) onMutation(m stgq.Mutation) func() error {
 // Planner returns the recovered, journaled planner.
 func (s *Store) Planner() *stgq.Planner { return s.pl }
 
+// Epoch returns the store's leader epoch.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// EpochStart returns the sequence number at which the store's epoch
+// began (0 for a never-promoted history). Streams advertise it as the
+// fork point followers compare their position against.
+func (s *Store) EpochStart() uint64 { return s.epochStart.Load() }
+
+// AdvanceEpoch durably raises the store's epoch to epoch (which began at
+// startSeq); lower or equal epochs are a no-op. A replication follower
+// calls it when its leader advertises a newer epoch (the leader was
+// promoted), so that a later promotion of this follower lands strictly
+// above the whole chain's history.
+func (s *Store) AdvanceEpoch(epoch, startSeq uint64) error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if epoch <= s.epoch.Load() {
+		return nil
+	}
+	m, _, err := loadMeta(s.dir)
+	if err != nil {
+		return err
+	}
+	m.Epoch = epoch
+	m.EpochStartSeq = startSeq
+	if err := writeMeta(s.dir, m); err != nil {
+		return fmt.Errorf("journal: meta: %w", err)
+	}
+	s.epoch.Store(epoch)
+	s.epochStart.Store(startSeq)
+	return nil
+}
+
 // Recovery reports what Open rebuilt.
 func (s *Store) Recovery() RecoveryInfo { return s.rec }
 
@@ -378,6 +428,7 @@ func (s *Store) Stats() Stats {
 		durable = s.rec.LastSeq
 	}
 	return Stats{
+		Epoch:           s.epoch.Load(),
 		LastSeq:         s.seq.Load(),
 		DurableSeq:      durable,
 		Batches:         batches,

@@ -24,6 +24,11 @@ const (
 	DefaultMaxBackoff = 5 * time.Second
 )
 
+// errSealed reports replication input arriving after Promote sealed the
+// follower: the local store is (about to be) a leader and must not apply
+// another leader's records.
+var errSealed = errors.New("replica: follower sealed for promotion")
+
 // Config describes a follower.
 type Config struct {
 	// LeaderURL is the leader's base URL (e.g. http://leader:8080); the
@@ -38,10 +43,17 @@ type Config struct {
 	// serial writer, so group-commit batching buys nothing and its timer
 	// would put a per-record latency floor under catch-up.
 	Store journal.Options
+	// PromotedStore tunes the store Promote re-opens. The zero value
+	// falls back to Store with MaxWait reset to the journal's own
+	// default: a promoted leader serves concurrent writers, where the
+	// follower's serial-applier tuning would forfeit group commit.
+	PromotedStore journal.Options
 	// Client issues the stream requests; http.DefaultClient (no timeout,
 	// as a long-poll needs) when nil.
 	Client *http.Client
 	// MinBackoff/MaxBackoff bound the reconnect backoff after errors.
+	// Negative values are rejected; zero means the default; MaxBackoff
+	// below MinBackoff is clamped up to MinBackoff.
 	MinBackoff, MaxBackoff time.Duration
 }
 
@@ -51,6 +63,10 @@ type Status struct {
 	Leader     string `json:"leader"`
 	Connected  bool   `json:"connected"`
 	AppliedSeq uint64 `json:"appliedSeq"`
+	// Epoch is the follower's local leader epoch: the epoch its durable
+	// history was written under, raised when the replicated leader
+	// advertises a newer one (a failover happened upstream).
+	Epoch uint64 `json:"epoch"`
 	// LeaderSeq is the leader's durable sequence number as of the last
 	// record or heartbeat received.
 	LeaderSeq  uint64 `json:"leaderSeq"`
@@ -70,7 +86,8 @@ type Status struct {
 
 // Follower replicates a leader's journal into its own durable store and
 // exposes the replayed planner for read-only queries. Create with
-// NewFollower, drive with Run, serve queries via Planner.
+// NewFollower, drive with Run, serve queries via Planner, and — on
+// failover — turn it into the new leader with Promote.
 type Follower struct {
 	cfg    Config
 	client *http.Client
@@ -78,8 +95,15 @@ type Follower struct {
 	mu sync.RWMutex // guards st (swapped on snapshot bootstrap)
 	st *journal.Store
 
+	// ingestMu serializes everything that writes replicated state into
+	// the store — applyWire and resetFromSnapshot — so Promote can seal
+	// the follower and then know no apply is in flight. Lock order:
+	// ingestMu before mu.
+	ingestMu sync.Mutex
+
 	connected   atomic.Bool
 	applied     atomic.Uint64
+	epoch       atomic.Uint64
 	leaderSeq   atomic.Uint64
 	lastContact atomic.Int64 // unix nanos; 0 = never
 	reconnects  atomic.Uint64
@@ -90,7 +114,10 @@ type Follower struct {
 	forceBootstrap atomic.Bool
 	// bootstrapping is true while resetFromSnapshot is in progress.
 	bootstrapping atomic.Bool
-	closed        atomic.Bool
+	// sealed stops replication input ahead of a promotion; closed also
+	// covers the promoted state (the store's ownership moved on).
+	sealed atomic.Bool
+	closed atomic.Bool
 }
 
 // NewFollower opens (or recovers) the follower's own store in cfg.Dir and
@@ -103,14 +130,24 @@ func NewFollower(cfg Config) (*Follower, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("replica: missing data dir")
 	}
+	if cfg.MinBackoff < 0 || cfg.MaxBackoff < 0 {
+		return nil, fmt.Errorf("replica: negative backoff bounds (min %v, max %v)", cfg.MinBackoff, cfg.MaxBackoff)
+	}
 	if cfg.Store.MaxWait == 0 {
 		cfg.Store.MaxWait = 100 * time.Microsecond
 	}
-	if cfg.MinBackoff <= 0 {
+	if cfg.MinBackoff == 0 {
 		cfg.MinBackoff = DefaultMinBackoff
 	}
-	if cfg.MaxBackoff < cfg.MinBackoff {
+	if cfg.MaxBackoff == 0 {
 		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		// Resetting to DefaultMaxBackoff here would re-break the
+		// invariant for any MinBackoff above it; the tightest bound that
+		// keeps the backoff well-formed is MinBackoff itself (constant
+		// backoff).
+		cfg.MaxBackoff = cfg.MinBackoff
 	}
 	if journal.ResetPending(cfg.Dir) {
 		// A previous snapshot bootstrap was interrupted mid-reset; what
@@ -129,11 +166,13 @@ func NewFollower(cfg Config) (*Follower, error) {
 		f.client = http.DefaultClient
 	}
 	f.applied.Store(st.LastSeq())
+	f.epoch.Store(st.Epoch())
 	if rec := st.Recovery(); st.LastSeq() == 0 && rec.SnapshotSeq == 0 && rec.People == 0 {
 		// A brand-new follower syncs its initial state from a leader
 		// snapshot rather than replaying the whole journal record by
 		// record (each one fsynced locally) — and adopts the leader's
-		// schedule horizon with it, which cfg.Store cannot know.
+		// schedule horizon and epoch with it, which cfg.Store cannot
+		// know.
 		f.forceBootstrap.Store(true)
 	}
 	return f, nil
@@ -145,6 +184,16 @@ func (f *Follower) Planner() *stgq.Planner { return f.store().Planner() }
 
 // JournalStats returns the follower's own journal statistics.
 func (f *Follower) JournalStats() journal.Stats { return f.store().Stats() }
+
+// Epoch returns the follower's local leader epoch without touching the
+// store lock.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// Defunct reports that the follower has stopped replicating for good:
+// it was closed, or a promotion attempt sealed it (and, on failure, left
+// no writable store behind). A defunct follower's state is frozen and
+// must not be advertised as a healthy read backend.
+func (f *Follower) Defunct() bool { return f.closed.Load() }
 
 // StatusView returns the current planner and journal stats without ever
 // blocking: ok is false while a snapshot re-bootstrap holds the store
@@ -183,6 +232,7 @@ func (f *Follower) Status() Status {
 		Leader:        f.cfg.LeaderURL,
 		Connected:     f.connected.Load(),
 		AppliedSeq:    applied,
+		Epoch:         f.epoch.Load(),
 		LeaderSeq:     leader,
 		LagRecords:    lag,
 		LagSeconds:    lagSec,
@@ -199,10 +249,11 @@ func (f *Follower) Status() Status {
 // Run replicates until ctx is cancelled, reconnecting with exponential
 // backoff after errors (a stream the leader closed cleanly reconnects
 // immediately, without counting toward the Reconnects metric). Call Close
-// afterwards to close the follower's store.
+// afterwards to close the follower's store. Run returns early when
+// Promote seals the follower.
 func (f *Follower) Run(ctx context.Context) {
 	backoff := f.cfg.MinBackoff
-	for ctx.Err() == nil && !f.closed.Load() {
+	for ctx.Err() == nil && !f.closed.Load() && !f.sealed.Load() {
 		err := f.streamOnce(ctx)
 		f.connected.Store(false)
 		if err == nil {
@@ -213,7 +264,7 @@ func (f *Follower) Run(ctx context.Context) {
 			f.lastErr.Store("")
 			continue
 		}
-		if ctx.Err() != nil || f.closed.Load() {
+		if ctx.Err() != nil || f.closed.Load() || f.sealed.Load() {
 			return
 		}
 		f.lastErr.Store(err.Error())
@@ -227,9 +278,66 @@ func (f *Follower) Run(ctx context.Context) {
 	}
 }
 
+// Promote seals replication and re-opens the follower's durable store as
+// a writable leader at epoch+1 — the failover step. The returned store
+// serves writes (and the replication stream) for the rest of the
+// cluster; its ownership passes to the caller, and the follower itself
+// becomes inert (Run exits, Close is a no-op, Planner keeps answering
+// from the promoted store). The epoch bump fences the dead predecessor:
+// should it revive, its streams advertise the old epoch and every
+// follower of the new history rejects them.
+func (f *Follower) Promote() (*journal.Store, error) {
+	f.sealed.Store(true)
+	// With the seal visible, draining ingestMu guarantees no replicated
+	// record or snapshot reset is mid-write when the store closes.
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed.Load() {
+		return nil, fmt.Errorf("replica: promote: %w", journal.ErrClosed)
+	}
+	f.connected.Store(false)
+	fork := f.st.LastSeq() // where the new epoch's history departs
+	// A close error (e.g. the final snapshot skipped) is survivable: the
+	// journal remains authoritative and the re-open replays it.
+	if err := f.st.Close(); err != nil {
+		f.lastErr.Store("promote: close: " + err.Error())
+	}
+	epoch, err := journal.BumpEpoch(f.cfg.Dir, fork)
+	if err != nil {
+		f.closed.Store(true)
+		return nil, err
+	}
+	st, err := journal.Open(f.cfg.Dir, f.promotedOptions())
+	if err != nil {
+		f.closed.Store(true)
+		return nil, err
+	}
+	f.st = st
+	f.applied.Store(st.LastSeq())
+	f.epoch.Store(epoch)
+	f.closed.Store(true) // Close must not close the store the caller now owns
+	return st, nil
+}
+
+// promotedOptions resolves the journal options for the store Promote
+// re-opens.
+func (f *Follower) promotedOptions() journal.Options {
+	opts := f.cfg.PromotedStore
+	if opts == (journal.Options{}) {
+		opts = f.cfg.Store
+		opts.MaxWait = 0 // leader writers group-commit; see Config.PromotedStore
+	}
+	return opts
+}
+
 // streamOnce opens one stream and consumes it to the end. A nil return is
 // a clean leader-side close (reconnect immediately); errors back off.
 func (f *Follower) streamOnce(ctx context.Context) error {
+	if f.sealed.Load() {
+		return errSealed
+	}
 	after := f.store().LastSeq()
 	url := f.cfg.LeaderURL + "/replication/stream?after=" + strconv.FormatUint(after, 10)
 	if f.forceBootstrap.Load() {
@@ -254,6 +362,17 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		return fmt.Errorf("replica: stream header: %w", err)
 	}
 	f.touch()
+	// Fencing: every stream header advertises the leader's epoch (a
+	// pre-epoch leader sends none and counts as 1). A leader behind the
+	// follower's own epoch is a revived, already-superseded ex-leader —
+	// its history must not be applied NOR bootstrapped from, or the
+	// follower would roll back onto a fenced timeline.
+	leaderEpoch := max(hdr.Epoch, 1)
+	localEpoch := f.epoch.Load()
+	if leaderEpoch < localEpoch {
+		return fmt.Errorf("replica: fenced: leader %s advertises epoch %d behind local epoch %d",
+			f.cfg.LeaderURL, leaderEpoch, localEpoch)
+	}
 	switch hdr.Kind {
 	case kindSnapshot:
 		var raw json.RawMessage
@@ -264,7 +383,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("replica: snapshot: %w", err)
 		}
-		if err := f.resetFromSnapshot(hdr.Seq, ds); err != nil {
+		if err := f.resetFromSnapshot(hdr.Seq, leaderEpoch, hdr.Fork, ds); err != nil {
 			return err
 		}
 		f.forceBootstrap.Store(false)
@@ -272,6 +391,28 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		f.noteLeaderSeq(hdr.Seq)
 		return nil // reconnect immediately; the next stream sends the tail
 	case kindRecords:
+		if leaderEpoch > localEpoch {
+			// The leader was promoted since the follower's history was
+			// written. The header's fork is where the leader's epoch
+			// departed from its predecessor's timeline, so the local
+			// history is provably a shared prefix only for a single-step
+			// epoch jump with the local position at or before the fork.
+			// Anything else — a local tail past the fork (the dead
+			// leader's orphaned writes; the leader's durable seq may by
+			// now have advanced past it, so the fork, not the durable
+			// seq, is the divergence test), or a multi-epoch jump whose
+			// intermediate fork points are unknown — could silently
+			// splice divergent histories and forces a rebuild from the
+			// new history's snapshot instead.
+			if leaderEpoch != localEpoch+1 || after > hdr.Fork {
+				f.forceBootstrap.Store(true)
+				return fmt.Errorf("replica: leader epoch %d (fork seq %d) vs local epoch %d at seq %d: divergent history, re-bootstrapping",
+					leaderEpoch, hdr.Fork, localEpoch, after)
+			}
+			if err := f.adoptEpoch(leaderEpoch, hdr.Fork); err != nil {
+				return err
+			}
+		}
 		f.connected.Store(true)
 		f.noteLeaderSeq(hdr.Seq)
 		for {
@@ -285,6 +426,13 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 			f.touch()
 			switch msg.Kind {
 			case kindHeartbeat:
+				// A mid-stream epoch change means the upstream identity
+				// changed under a stable URL (a gateway re-routed the
+				// stream across a failover): abandon the stream and let
+				// the reconnect re-run the header checks.
+				if hb := max(msg.Epoch, 1); hb != leaderEpoch {
+					return fmt.Errorf("replica: leader epoch changed mid-stream (%d → %d)", leaderEpoch, hb)
+				}
 				f.noteLeaderSeq(msg.Seq)
 			case kindRecord:
 				if err := f.applyWire(msg); err != nil {
@@ -301,12 +449,36 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 	}
 }
 
+// adoptEpoch durably raises the follower's epoch to the leader's (which
+// began at startSeq), so a later promotion of this follower lands
+// strictly above the entire observed history. Like every other ingest
+// path it is serialized against Promote: writing the adopted epoch's
+// meta under a just-promoted store would overwrite the promotion's own
+// epoch/fork record.
+func (f *Follower) adoptEpoch(epoch, startSeq uint64) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	if f.sealed.Load() {
+		return errSealed
+	}
+	if err := f.store().AdvanceEpoch(epoch, startSeq); err != nil {
+		return fmt.Errorf("replica: adopting leader epoch %d: %w", epoch, err)
+	}
+	f.epoch.Store(epoch)
+	return nil
+}
+
 // applyWire applies one record frame to the follower's planner (and,
 // through the store's mutation hook, its own journal). Records at or
 // below the applied position — duplicates after a reconnect — are
 // skipped; a gap or a divergent apply forces a snapshot bootstrap on the
 // next connect.
 func (f *Follower) applyWire(msg wireMsg) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	if f.sealed.Load() {
+		return errSealed
+	}
 	st := f.store()
 	applied := st.LastSeq()
 	if msg.Seq <= applied {
@@ -332,8 +504,14 @@ func (f *Follower) applyWire(msg wireMsg) error {
 }
 
 // resetFromSnapshot replaces the follower's store with the leader's
-// snapshot at seq.
-func (f *Follower) resetFromSnapshot(seq uint64, ds *dataset.Dataset) error {
+// snapshot at seq, adopting the leader's epoch (begun at epochStart)
+// with it.
+func (f *Follower) resetFromSnapshot(seq, epoch, epochStart uint64, ds *dataset.Dataset) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	if f.sealed.Load() {
+		return errSealed
+	}
 	// Flag the reset before taking the lock: /status handlers that are not
 	// yet blocked on the swapped planner must already see the follower as
 	// bootstrapping (unhealthy), not stale-but-healthy.
@@ -347,7 +525,7 @@ func (f *Follower) resetFromSnapshot(seq uint64, ds *dataset.Dataset) error {
 	// A close error cannot stop the reset: the local state is being
 	// discarded either way.
 	_ = f.st.Close()
-	if err := journal.ResetFromSnapshot(f.cfg.Dir, seq, ds); err != nil {
+	if err := journal.ResetFromSnapshot(f.cfg.Dir, seq, epoch, epochStart, ds); err != nil {
 		return err
 	}
 	st, err := journal.Open(f.cfg.Dir, f.cfg.Store)
@@ -356,6 +534,7 @@ func (f *Follower) resetFromSnapshot(seq uint64, ds *dataset.Dataset) error {
 	}
 	f.st = st
 	f.applied.Store(st.LastSeq())
+	f.epoch.Store(st.Epoch())
 	return nil
 }
 
@@ -371,12 +550,17 @@ func (f *Follower) noteLeaderSeq(seq uint64) {
 }
 
 // Close stops accepting replicated records and closes the follower's
-// store. Cancel Run's context first; Close does not wait for it.
+// store. Cancel Run's context first; Close does not wait for it. After a
+// Promote, Close is a no-op: the promoted store belongs to the caller.
 func (f *Follower) Close() error {
+	// The closed flag is claimed under the store lock: deciding it
+	// earlier would race an in-flight Promote (which checks the flag
+	// under the same lock) and close the promoted store its new owner
+	// was just handed.
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.closed.Swap(true) {
 		return nil
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return f.st.Close()
 }

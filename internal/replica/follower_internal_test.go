@@ -2,6 +2,7 @@ package replica
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 )
@@ -9,7 +10,7 @@ import (
 // TestResetFromSnapshotTogglesBootstrapping pins the health contract of
 // satellite gateways: Status reports Bootstrapping while (and only while)
 // a snapshot reset is replacing the follower's store, and the reset
-// leaves the follower at the snapshot's sequence number.
+// leaves the follower at the snapshot's sequence number and epoch.
 func TestResetFromSnapshotTogglesBootstrapping(t *testing.T) {
 	f, err := NewFollower(Config{LeaderURL: "http://leader.invalid:8080", Dir: t.TempDir()})
 	if err != nil {
@@ -29,7 +30,7 @@ func TestResetFromSnapshotTogglesBootstrapping(t *testing.T) {
 	}
 	f.bootstrapping.Store(false)
 
-	if err := f.resetFromSnapshot(5, ds); err != nil {
+	if err := f.resetFromSnapshot(5, 3, 0, ds); err != nil {
 		t.Fatal(err)
 	}
 	st := f.Status()
@@ -38,6 +39,9 @@ func TestResetFromSnapshotTogglesBootstrapping(t *testing.T) {
 	}
 	if st.AppliedSeq != 5 {
 		t.Fatalf("applied seq %d after reset, want 5", st.AppliedSeq)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("epoch %d after reset, want the leader's epoch 3", st.Epoch)
 	}
 	if got := f.Planner().NumPeople(); got != 20 {
 		t.Fatalf("reset planner has %d people, want 20", got)
@@ -53,4 +57,58 @@ func TestResetFromSnapshotTogglesBootstrapping(t *testing.T) {
 		t.Fatal("StatusView acquired the store lock mid-reset")
 	}
 	f.mu.Unlock()
+}
+
+// TestBackoffNormalization is the regression table for the MaxBackoff
+// clamp: resetting an inverted MaxBackoff to DefaultMaxBackoff left
+// MaxBackoff < MinBackoff whenever MinBackoff exceeded 5s, which made the
+// reconnect loop's min(backoff*2, MaxBackoff) shrink the backoff below
+// its configured floor. Negative bounds are rejected outright.
+func TestBackoffNormalization(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, max time.Duration
+		wantMin  time.Duration
+		wantMax  time.Duration
+		wantErr  bool
+	}{
+		{name: "defaults", min: 0, max: 0, wantMin: DefaultMinBackoff, wantMax: DefaultMaxBackoff},
+		{name: "explicit", min: time.Second, max: 10 * time.Second, wantMin: time.Second, wantMax: 10 * time.Second},
+		{name: "inverted small", min: 2 * time.Second, max: time.Second, wantMin: 2 * time.Second, wantMax: 2 * time.Second},
+		// The regression: MinBackoff above DefaultMaxBackoff with no
+		// MaxBackoff set must clamp to MinBackoff, not to the (smaller)
+		// default.
+		{name: "min above default max", min: 10 * time.Second, max: 0, wantMin: 10 * time.Second, wantMax: 10 * time.Second},
+		{name: "inverted above default max", min: 10 * time.Second, max: 6 * time.Second, wantMin: 10 * time.Second, wantMax: 10 * time.Second},
+		{name: "negative min", min: -time.Second, max: time.Second, wantErr: true},
+		{name: "negative max", min: time.Second, max: -time.Second, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := NewFollower(Config{
+				LeaderURL:  "http://leader.invalid:8080",
+				Dir:        t.TempDir(),
+				MinBackoff: tc.min,
+				MaxBackoff: tc.max,
+			})
+			if tc.wantErr {
+				if err == nil {
+					f.Close()
+					t.Fatal("negative backoff accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if f.cfg.MinBackoff != tc.wantMin || f.cfg.MaxBackoff != tc.wantMax {
+				t.Fatalf("normalized to min %v max %v, want min %v max %v",
+					f.cfg.MinBackoff, f.cfg.MaxBackoff, tc.wantMin, tc.wantMax)
+			}
+			if f.cfg.MaxBackoff < f.cfg.MinBackoff {
+				t.Fatalf("invariant broken: max %v < min %v", f.cfg.MaxBackoff, f.cfg.MinBackoff)
+			}
+		})
+	}
 }

@@ -44,19 +44,47 @@
 // One HTTP GET per stream, newline-delimited JSON frames:
 //
 //	→ GET /replication/stream?after=<seq>[&bootstrap=1]
-//	← {"k":"records","after":<seq>,"seq":<leaderDurable>}   header, then
+//	← {"k":"records","after":<seq>,"seq":<leaderDurable>,"epoch":<e>}  header, then
 //	← {"k":"r","seq":125,"op":2,"a":3,"b":9,"d":4.5}        record frames
-//	← {"k":"hb","seq":<leaderDurable>}                      idle heartbeats
+//	← {"k":"hb","seq":<leaderDurable>,"epoch":<e>}          idle heartbeats
 //
 // or, when the position is compacted (or a bootstrap is forced):
 //
-//	← {"k":"snapshot","seq":<snapSeq>}                      header, then
+//	← {"k":"snapshot","seq":<snapSeq>,"epoch":<e>}          header, then
 //	← <dataset JSON>                                        one frame
 //
 // The leader closes every stream after MaxConnected; followers reconnect
 // (with backoff after errors) and resume from their own last sequence
 // number, so a dropped connection can at worst duplicate records, which
 // the follower skips.
+//
+// # Failover: epochs, fencing, promotion
+//
+// Each durable history belongs to a leader epoch (persisted in the
+// journal's meta file, advertised on every stream header and heartbeat).
+// The follower enforces three rules against the advertised epoch:
+//
+//   - below its own local epoch: the "leader" is a revived ex-leader from
+//     before a failover — the stream is refused outright; neither records
+//     nor a snapshot from a fenced timeline may touch the local store.
+//   - exactly one above its own, with the local position at or before the
+//     advertised fork point (the seq where the promotion departed the old
+//     timeline): the local history is provably a shared prefix; the
+//     follower durably adopts the new epoch (so a later promotion of this
+//     follower outranks the whole observed chain) and keeps streaming.
+//   - any other jump — a local tail past the fork (the dead leader's
+//     orphaned writes, even if the new leader's durable seq has since
+//     raced past it) or a multi-epoch jump whose intermediate forks are
+//     unknown: the follower forces a snapshot re-bootstrap onto the new
+//     history rather than risk splicing divergent timelines.
+//
+// Promote (the handler behind the service's POST /promote) performs the
+// failover itself: it seals replication, waits out any in-flight apply,
+// closes the follower's store, bumps the epoch in the data dir, and
+// re-opens the store writable. The caller (the HTTP service) then serves
+// mutations and the replication stream from it — every surviving
+// follower re-homes on its next reconnect, and the dead leader is fenced
+// the moment it comes back.
 package replica
 
 import (
@@ -81,7 +109,18 @@ type wireMsg struct {
 	Kind  string `json:"k"`
 	After uint64 `json:"after,omitempty"` // kindRecords: resume position
 	Seq   uint64 `json:"seq,omitempty"`   // record/snapshot seq; hb/header: leader durable seq
-	Err   string `json:"err,omitempty"`
+	// Epoch is the leader's epoch, advertised on stream headers and
+	// heartbeats — the fencing coordinate. A follower rejects streams
+	// from a leader whose epoch is below its own (a revived, demoted
+	// ex-leader), and a pre-epoch leader (0) is treated as epoch 1.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fork is the sequence number at which the leader's epoch began (its
+	// promotion point), sent on stream headers. A follower crossing an
+	// epoch boundary holds a shared prefix of the new history iff its
+	// applied position is at or before the fork; a longer local tail is
+	// the dead leader's orphaned writes and forces a re-bootstrap.
+	Fork uint64 `json:"fork,omitempty"`
+	Err  string `json:"err,omitempty"`
 
 	// Record payload (kindRecord), mirroring stgq.Mutation.
 	Op   uint8   `json:"op,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -426,5 +427,250 @@ func TestFollowerSurvivesLeaderRestart(t *testing.T) {
 	waitCaughtUp(t, f.fo, leader2.st)
 	if got, want := planOn(t, f.ts, 7), planOn(t, leader2.ts, 7); !bytes.Equal(got, want) {
 		t.Fatalf("follower diverged after leader restart:\n  follower %s\n  leader   %s", got, want)
+	}
+}
+
+// --- failover: epochs, fencing, promotion ----------------------------------
+
+// waitForError blocks until the follower reports a LastError containing
+// substr.
+func waitForError(t *testing.T, fo *replica.Follower, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := fo.Status().LastError; strings.Contains(s, substr) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower never reported %q: %+v", substr, fo.Status())
+}
+
+// TestFollowerRejectsLowerEpochLeader pins the fencing contract: a
+// follower whose local history is at a higher epoch refuses a
+// lower-epoch leader's stream — it neither applies records nor
+// bootstraps, because rolling back onto a fenced timeline would undo a
+// completed failover.
+func TestFollowerRejectsLowerEpochLeader(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	buildPopulation(t, leader.st.Planner(), 10)
+
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+	applied := f.fo.Status().AppliedSeq
+	f.stop()
+
+	// The cluster failed over elsewhere: this follower's history now
+	// belongs to epoch 2, while the old leader — revived — still streams
+	// epoch 1.
+	if _, err := journal.BumpEpoch(fdir, applied); err != nil {
+		t.Fatal(err)
+	}
+	buildPopulation(t, leader.st.Planner(), 5) // the fenced leader moves on
+
+	f2 := startFollower(t, fdir, leader.ts.URL)
+	waitForError(t, f2.fo, "fenced")
+	st := f2.fo.Status()
+	if st.AppliedSeq != applied {
+		t.Fatalf("fenced follower applied records: seq %d, want %d", st.AppliedSeq, applied)
+	}
+	if st.Bootstraps != 0 {
+		t.Fatalf("fenced follower bootstrapped from a stale leader: %+v", st)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("follower epoch %d, want 2", st.Epoch)
+	}
+}
+
+// TestFollowerBootstrapsAcrossFailoverDivergence: after a failover to a
+// leader whose history is shorter than the follower's (the promoted
+// replica had not applied the dead leader's tail), the follower must
+// detect the epoch-with-divergence and rebuild from the new leader's
+// snapshot rather than splicing two histories.
+func TestFollowerBootstrapsAcrossFailoverDivergence(t *testing.T) {
+	leaderA := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	buildPopulation(t, leaderA.st.Planner(), 30)
+
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, leaderA.ts.URL)
+	waitCaughtUp(t, f.fo, leaderA.st)
+	f.stop()
+	if err := leaderA.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaderA.ts.Close()
+
+	// Leader B: a shorter history at epoch 2 (the promoted survivor of a
+	// failover the follower slept through).
+	bdir := t.TempDir()
+	seed, err := journal.Open(bdir, journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildPopulation(t, seed.Planner(), 12)
+	forkB := seed.LastSeq()
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := journal.BumpEpoch(bdir, forkB); err != nil {
+		t.Fatal(err)
+	}
+	leaderB := startLeader(t, bdir, journal.Options{HorizonSlots: 14})
+	if f.fo.Status().AppliedSeq <= leaderB.st.LastSeq() {
+		t.Fatalf("test setup: follower at %d must be ahead of leader B at %d",
+			f.fo.Status().AppliedSeq, leaderB.st.LastSeq())
+	}
+
+	f2 := startFollower(t, fdir, leaderB.ts.URL)
+	// waitCaughtUp would pass trivially here — the follower starts AHEAD
+	// of leader B; wait for the re-bootstrap onto B's history instead.
+	deadline := time.Now().Add(15 * time.Second)
+	for f2.fo.Status().Bootstraps == 0 || f2.fo.Status().AppliedSeq != leaderB.st.LastSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("divergent follower never re-bootstrapped onto epoch 2: %+v", f2.fo.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := f2.fo.Status()
+	if st.Epoch != 2 {
+		t.Fatalf("follower epoch %d after failover, want 2", st.Epoch)
+	}
+	if got, want := planOn(t, f2.ts, 5), planOn(t, leaderB.ts, 5); !bytes.Equal(got, want) {
+		t.Fatalf("post-failover follower diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+}
+
+// TestPromote drives the promotion seam directly: the promoted store
+// re-opens writable at epoch+1 with every applied record intact, the old
+// follower handle becomes inert, and a fresh follower replicates from
+// the promoted leader at the new epoch.
+func TestPromote(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	buildPopulation(t, leader.st.Planner(), 20)
+
+	f := startFollower(t, t.TempDir(), leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+	applied := f.fo.Status().AppliedSeq
+
+	st, err := f.fo.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store before server (and after f2's harness, registered later, has
+	// stopped): closing the store ends the replication long-poll that
+	// would otherwise stall the server close for its full MaxConnected.
+	var pts *httptest.Server
+	t.Cleanup(func() {
+		st.Close()
+		if pts != nil {
+			pts.Close()
+		}
+	})
+	if got := st.Epoch(); got != 2 {
+		t.Fatalf("promoted store at epoch %d, want 2", got)
+	}
+	if got := st.LastSeq(); got != applied {
+		t.Fatalf("promoted store lost records: seq %d, want %d", got, applied)
+	}
+	// The promoted store accepts (and journals) new writes.
+	if _, err := st.Planner().AddPerson("postfailover"); err != nil {
+		t.Fatalf("promoted store rejected a write: %v", err)
+	}
+	if got := st.LastSeq(); got != applied+1 {
+		t.Fatalf("write not journaled: seq %d, want %d", got, applied+1)
+	}
+	// Promote is terminal for the follower: a second call and Close are
+	// rejected/no-ops, and the store stays open for its new owner.
+	if _, err := f.fo.Promote(); err == nil {
+		t.Fatal("second Promote succeeded")
+	}
+	if err := f.fo.Close(); err != nil {
+		t.Fatalf("post-promotion Close: %v", err)
+	}
+	if _, err := st.Planner().AddPerson("stillopen"); err != nil {
+		t.Fatalf("follower Close closed the promoted store: %v", err)
+	}
+
+	// A fresh follower replicates from the promoted leader and adopts
+	// epoch 2.
+	pts = httptest.NewServer(service.NewWithStore(st))
+	f2 := startFollower(t, t.TempDir(), pts.URL)
+	waitCaughtUp(t, f2.fo, st)
+	if got := f2.fo.Status().Epoch; got != 2 {
+		t.Fatalf("follower of promoted leader at epoch %d, want 2", got)
+	}
+	if got, want := planOn(t, f2.ts, 5), planOn(t, pts, 5); !bytes.Equal(got, want) {
+		t.Fatalf("follower of promoted leader diverged:\n  follower %s\n  leader   %s", got, want)
+	}
+}
+
+// TestFollowerBootstrapsWhenOrphanedTailBelowLeaderSeq pins the sharper
+// divergence rule: the new leader's DURABLE seq may race past the
+// follower's orphaned tail, so divergence must be judged against the
+// epoch's fork point, not the durable position. Here the follower (seq
+// 10) reconnects to an epoch-2 leader that forked at 8 but has already
+// reached 13 — a durable-seq comparison would silently splice records
+// 11..13 on top of the orphaned 9..10.
+func TestFollowerBootstrapsWhenOrphanedTailBelowLeaderSeq(t *testing.T) {
+	leaderA := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	for i := 0; i < 10; i++ {
+		if _, err := leaderA.st.Planner().AddPerson(fmt.Sprintf("a%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fdir := t.TempDir()
+	f := startFollower(t, fdir, leaderA.ts.URL)
+	waitCaughtUp(t, f.fo, leaderA.st)
+	f.stop()
+	if err := leaderA.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaderA.ts.Close()
+
+	// Leader B forked at seq 8 (epoch 2) and has moved on to seq 13.
+	bdir := t.TempDir()
+	seed, err := journal.Open(bdir, journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := seed.Planner().AddPerson(fmt.Sprintf("a%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := journal.BumpEpoch(bdir, 8); err != nil {
+		t.Fatal(err)
+	}
+	leaderB := startLeader(t, bdir, journal.Options{HorizonSlots: 14})
+	for i := 0; i < 5; i++ {
+		if _, err := leaderB.st.Planner().AddPerson(fmt.Sprintf("b%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if leaderB.st.LastSeq() <= f.fo.Status().AppliedSeq {
+		t.Fatalf("test setup: leader B at %d must be past the follower's %d",
+			leaderB.st.LastSeq(), f.fo.Status().AppliedSeq)
+	}
+
+	f2 := startFollower(t, fdir, leaderB.ts.URL)
+	deadline := time.Now().Add(15 * time.Second)
+	for f2.fo.Status().Bootstraps == 0 || f2.fo.Status().AppliedSeq != leaderB.st.LastSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower spliced instead of re-bootstrapping: %+v", f2.fo.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := f2.fo.Status().Epoch; got != 2 {
+		t.Fatalf("follower epoch %d, want 2", got)
+	}
+	// The orphaned a8/a9 are gone; the population is exactly leader B's.
+	wantPeople, wantFriends := leaderB.st.Planner().Counts()
+	if gotPeople, gotFriends := f2.fo.Planner().Counts(); gotPeople != wantPeople || gotFriends != wantFriends {
+		t.Fatalf("follower population %d/%d after re-bootstrap, leader B %d/%d",
+			gotPeople, gotFriends, wantPeople, wantFriends)
 	}
 }

@@ -96,7 +96,7 @@ func (st *Streamer) serveSnapshot(w http.ResponseWriter) {
 	defer rc.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(wireMsg{Kind: kindSnapshot, Seq: seq}); err != nil {
+	if err := enc.Encode(wireMsg{Kind: kindSnapshot, Seq: seq, Epoch: st.Store.Epoch(), Fork: st.Store.EpochStart()}); err != nil {
 		return
 	}
 	// The snapshot file is itself one newline-terminated JSON document —
@@ -126,7 +126,8 @@ func (st *Streamer) serveRecords(w http.ResponseWriter, r *http.Request, after u
 	send := func(m wireMsg) bool { return enc.Encode(m) == nil }
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if !send(wireMsg{Kind: kindRecords, After: after, Seq: st.Store.DurableSeq()}) {
+	epoch := st.Store.Epoch()
+	if !send(wireMsg{Kind: kindRecords, After: after, Seq: st.Store.DurableSeq(), Epoch: epoch, Fork: st.Store.EpochStart()}) {
 		return
 	}
 	deadline := time.Now().Add(maxConn)
@@ -148,7 +149,7 @@ func (st *Streamer) serveRecords(w http.ResponseWriter, r *http.Request, after u
 				return // client gone
 			}
 			if errors.Is(werr, context.DeadlineExceeded) {
-				if !send(wireMsg{Kind: kindHeartbeat, Seq: st.Store.DurableSeq()}) {
+				if !send(wireMsg{Kind: kindHeartbeat, Seq: st.Store.DurableSeq(), Epoch: epoch}) {
 					return
 				}
 				flush()

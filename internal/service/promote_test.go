@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/replica"
+)
+
+// get fetches a JSON endpoint into `into` and returns the status code.
+func get(t *testing.T, ts *httptest.Server, path string, into any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestPromoteEndpointRoles pins POST /promote per role: idempotent on a
+// leader, 409 on an in-memory server (no durable history to promote).
+func TestPromoteEndpointRoles(t *testing.T) {
+	st, err := journal.Open(t.TempDir(), journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	lts := httptest.NewServer(NewWithStore(st))
+	defer lts.Close()
+
+	var pr PromoteResponse
+	if code := post(t, lts, "/promote", struct{}{}, &pr); code != 200 {
+		t.Fatalf("promote on a leader: status %d, want idempotent 200", code)
+	}
+	if pr.Role != "leader" || pr.Epoch != 1 {
+		t.Fatalf("promote on a leader answered %+v, want role leader at epoch 1", pr)
+	}
+
+	mts := httptest.NewServer(New(14))
+	defer mts.Close()
+	if code := post(t, mts, "/promote", struct{}{}, nil); code != 409 {
+		t.Fatalf("promote on an in-memory server: status %d, want 409", code)
+	}
+}
+
+// TestPromoteEndpointFollowerBecomesLeader drives the full role swap over
+// HTTP: a promoted follower starts reporting role=leader at epoch+1,
+// accepts mutations it rejected a moment before, and serves the
+// replication stream.
+func TestPromoteEndpointFollowerBecomesLeader(t *testing.T) {
+	st, err := journal.Open(t.TempDir(), journal.Options{HorizonSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(NewWithStore(st))
+	t.Cleanup(func() { st.Close(); lts.Close() })
+	for _, name := range []string{"ana", "bo", "cy"} {
+		if code := post(t, lts, "/people", map[string]any{"name": name}, nil); code != 200 {
+			t.Fatalf("seed %s: status %d", name, code)
+		}
+	}
+
+	fo, err := replica.NewFollower(replica.Config{
+		LeaderURL:  lts.URL,
+		Dir:        t.TempDir(),
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := NewFollower(fo, lts.URL)
+	fts := httptest.NewServer(fsrv)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { fo.Run(ctx); close(done) }()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		if err := fsrv.CloseState(); err != nil {
+			t.Errorf("CloseState: %v", err)
+		}
+		fts.Close()
+	})
+
+	deadline := time.Now().Add(15 * time.Second)
+	for fo.Status().AppliedSeq < st.LastSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", fo.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Before: read-only follower.
+	if code := post(t, fts, "/people", map[string]any{"name": "rejected"}, nil); code != 403 {
+		t.Fatalf("follower accepted a mutation: status %d", code)
+	}
+	var status StatusResponse
+	if code := get(t, fts, "/status", &status); code != 200 || status.Role != "follower" || status.Epoch != 1 {
+		t.Fatalf("pre-promotion status: code %d, %+v", code, status)
+	}
+
+	var pr PromoteResponse
+	if code := post(t, fts, "/promote", struct{}{}, &pr); code != 200 {
+		t.Fatalf("promote: status %d (%+v)", code, pr)
+	}
+	if pr.Role != "leader" || pr.Epoch != 2 {
+		t.Fatalf("promote answered %+v, want role leader at epoch 2", pr)
+	}
+
+	// After: a writable leader at epoch 2, serving the stream.
+	if code := post(t, fts, "/people", map[string]any{"name": "accepted"}, nil); code != 200 {
+		t.Fatalf("promoted leader rejected a mutation: status %d", code)
+	}
+	if code := get(t, fts, "/status", &status); code != 200 {
+		t.Fatalf("status: %d", code)
+	}
+	if status.Role != "leader" || status.Epoch != 2 || !status.Healthy {
+		t.Fatalf("post-promotion status %+v, want healthy leader at epoch 2", status)
+	}
+	if status.People != 4 {
+		t.Fatalf("promoted leader has %d people, want the 3 replicated + 1 new", status.People)
+	}
+	// A second promote is idempotent.
+	if code := post(t, fts, "/promote", struct{}{}, &pr); code != 200 || pr.Epoch != 2 {
+		t.Fatalf("re-promote: status %d, %+v", code, pr)
+	}
+}
+
+// TestDefunctFollowerReportsUnhealthy: a follower whose replication has
+// terminally stopped (closed — e.g. a promotion attempt failed after
+// sealing it) must stop advertising itself as a healthy read backend,
+// or the gateway would route reads to a frozen state forever.
+func TestDefunctFollowerReportsUnhealthy(t *testing.T) {
+	fo, err := replica.NewFollower(replica.Config{
+		LeaderURL: "http://leader.invalid:8080",
+		Dir:       t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(NewFollower(fo, "http://leader.invalid:8080"))
+	defer fts.Close()
+
+	var status StatusResponse
+	if code := get(t, fts, "/status", &status); code != 200 || !status.Healthy {
+		t.Fatalf("live follower unhealthy: code %d, %+v", code, status)
+	}
+	if err := fo.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(t, fts, "/status", &status); code != 200 {
+		t.Fatalf("status on defunct follower: %d", code)
+	}
+	if status.Healthy {
+		t.Fatalf("defunct follower still reports healthy: %+v", status)
+	}
+}

@@ -14,6 +14,7 @@
 //	POST   /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
 //	POST   /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
 //	POST   /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
+//	POST   /promote        {}                    → follower becomes the leader
 //	GET    /status                                               → counts
 //	GET    /replication/stream                                   → journal stream (durable servers)
 //
@@ -39,6 +40,16 @@
 // /status work normally (with replication lag fields), while mutating
 // endpoints are rejected with 403, a leader hint in the body and an
 // X-STGQ-Leader header pointing writers at the write path.
+//
+// # Failover
+//
+// POST /promote turns a follower into the leader in place: replication
+// seals, the durable store re-opens writable at epoch+1 (fencing the
+// dead predecessor's stream) and the server starts accepting mutations
+// and serving /replication/stream. GET /status reports the epoch on every
+// durable server; the cluster gateway compares (epoch, durableSeq) when
+// adopting a leader and can drive the promotion itself (stgqgw
+// -auto-failover).
 package service
 
 import (
@@ -46,6 +57,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	stgq "repro"
 	"repro/internal/journal"
@@ -60,14 +72,18 @@ const LeaderHeader = "X-STGQ-Leader"
 
 // Server is the HTTP planning service. Create with New, mount anywhere (it
 // implements http.Handler). The underlying Planner synchronizes mutations
-// and queries itself, so handlers run concurrently without server-level
-// locking.
+// and queries itself, so handlers need no per-request locking; the
+// server-level RWMutex only guards the role state (planner/store/follower
+// pointers), which POST /promote swaps when a follower becomes the
+// leader.
 type Server struct {
+	mu         sync.RWMutex
 	pl         *stgq.Planner
 	store      *journal.Store    // nil for in-memory servers
 	follower   *replica.Follower // nil unless this is a read replica
 	leaderHint string            // write-endpoint URL advertised by followers
 	mux        *http.ServeMux
+	promoteMu  sync.Mutex // serializes promotions without blocking reads
 }
 
 // New creates a service over an empty population with the given schedule
@@ -113,39 +129,63 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /friendships", s.handleRemoveFriendship)
 	s.mux.HandleFunc("POST /availability", s.handleAvailability)
 	s.mux.HandleFunc("POST /policies", s.handleSetPolicy)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
 	s.mux.HandleFunc("POST /query/group", s.handleGroupQuery)
 	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
 	s.mux.HandleFunc("POST /query/manual", s.handleManualQuery)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
-	if s.store != nil {
-		s.mux.Handle("GET /replication/stream", replica.NewStreamer(s.store))
-	}
+	// The stream endpoint is routed unconditionally and resolved per
+	// request: a follower serves no stream today, but becomes a leader —
+	// and must start serving one — the moment it is promoted.
+	s.mux.HandleFunc("GET /replication/stream", s.handleStream)
 }
 
 // planner returns the planner to serve this request from. Followers must
 // resolve it per request: a snapshot bootstrap swaps the replica's
 // planner wholesale.
 func (s *Server) planner() *stgq.Planner {
-	if s.follower != nil {
-		return s.follower.Planner()
+	s.mu.RLock()
+	fo, pl := s.follower, s.pl
+	s.mu.RUnlock()
+	if fo != nil {
+		return fo.Planner()
 	}
-	return s.pl
+	return pl
 }
 
-// rejectReadOnly answers mutating requests on a follower with 403 and a
-// leader redirect hint; it reports whether the request was rejected.
-func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
-	if s.follower == nil {
-		return false
+// writablePlanner resolves the planner a mutation may be applied to. On a
+// follower it writes the 403 + leader-redirect-hint response and returns
+// ok=false. Role and planner are resolved under one lock so a mutation
+// racing a promotion can never slip a write into a follower's replicated
+// planner.
+func (s *Server) writablePlanner(w http.ResponseWriter) (*stgq.Planner, bool) {
+	s.mu.RLock()
+	fo, pl, hint := s.follower, s.pl, s.leaderHint
+	s.mu.RUnlock()
+	if fo == nil {
+		return pl, true
 	}
-	if s.leaderHint != "" {
-		w.Header().Set(LeaderHeader, s.leaderHint)
+	if hint != "" {
+		w.Header().Set(LeaderHeader, hint)
 	}
 	writeJSON(w, http.StatusForbidden, errorResponse{
 		Error:  "read-only follower: send mutations to the leader",
-		Leader: s.leaderHint,
+		Leader: hint,
 	})
-	return true
+	return nil, false
+}
+
+// handleStream serves the replication stream on whatever store the server
+// currently leads; followers and in-memory servers have none.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := s.store
+	s.mu.RUnlock()
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "not a replication leader"})
+		return
+	}
+	replica.NewStreamer(st).ServeHTTP(w, r)
 }
 
 // ServeHTTP implements http.Handler.
@@ -240,6 +280,12 @@ type StatusResponse struct {
 	// is being replaced wholesale). The cluster gateway's health prober
 	// keys off it.
 	Healthy bool `json:"healthy"`
+	// Epoch is the leader epoch of the durable history this server
+	// serves: a fencing generation bumped on every promotion. The
+	// gateway prefers the highest-epoch leader claim and ignores claims
+	// from superseded epochs (a revived dead leader). 0 on in-memory
+	// servers.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// DurableSeq is the highest fsynced sequence number: the leader's
 	// durable position, or the follower's applied position. It is the
 	// uniform replication coordinate the gateway compares across backends
@@ -260,14 +306,15 @@ type errorResponse struct {
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
 		return
 	}
 	var req AddPersonRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := s.planner().AddPerson(req.Name)
+	id, err := pl.AddPerson(req.Name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -276,14 +323,15 @@ func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
 		return
 	}
 	var req FriendshipRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.planner().Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
+	if err := pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -291,14 +339,15 @@ func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
 		return
 	}
 	var req FriendshipRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.planner().Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
+	if err := pl.Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -306,14 +355,14 @@ func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
 		return
 	}
 	var req AvailabilityRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	pl := s.planner()
 	var err error
 	if req.Available {
 		err = pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
@@ -328,7 +377,8 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
 		return
 	}
 	var req PolicyRequest
@@ -340,7 +390,7 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.planner().SetSchedulePolicy(stgq.PersonID(req.Person), policy); err != nil {
+	if err := pl.SetSchedulePolicy(stgq.PersonID(req.Person), policy); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -438,41 +488,113 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if s.follower != nil {
+	s.mu.RLock()
+	pl, store, fo, hint := s.pl, s.store, s.follower, s.leaderHint
+	s.mu.RUnlock()
+	if fo != nil {
 		// During a snapshot re-bootstrap the follower's store is locked
 		// for the swap; /status must keep answering (unhealthy) instead
 		// of blocking behind it, so the store is read through the
 		// non-blocking StatusView.
-		rs := s.follower.Status()
+		rs := fo.Status()
 		resp := StatusResponse{
 			Role:        "follower",
-			Leader:      s.leaderHint,
+			Leader:      hint,
 			DurableSeq:  rs.AppliedSeq,
+			Epoch:       rs.Epoch,
 			Replication: &rs,
 		}
-		if pl, st, ok := s.follower.StatusView(); ok && !rs.Bootstrapping {
-			resp.Healthy = true
-			resp.People, resp.Friendships = pl.Counts()
-			resp.Horizon = pl.Horizon()
+		if fpl, st, ok := fo.StatusView(); ok {
+			resp.People, resp.Friendships = fpl.Counts()
+			resp.Horizon = fpl.Horizon()
 			resp.Journal = &st
+			// A bootstrapping follower is about to swap its planner; a
+			// defunct one (closed, or a failed promotion sealed it with
+			// no writable store) is frozen forever. Neither may be
+			// advertised as a healthy read backend.
+			resp.Healthy = !rs.Bootstrapping && !fo.Defunct()
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	people, friendships := s.pl.Counts()
+	people, friendships := pl.Counts()
 	resp := StatusResponse{
 		People:      people,
 		Friendships: friendships,
-		Horizon:     s.pl.Horizon(),
+		Horizon:     pl.Horizon(),
 		Healthy:     true,
 	}
-	if s.store != nil {
+	if store != nil {
 		resp.Role = "leader"
-		resp.DurableSeq = s.store.DurableSeq()
-		st := s.store.Stats()
+		resp.DurableSeq = store.DurableSeq()
+		resp.Epoch = store.Epoch()
+		st := store.Stats()
 		resp.Journal = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// PromoteResponse answers POST /promote.
+type PromoteResponse struct {
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	DurableSeq uint64 `json:"durableSeq"`
+}
+
+// handlePromote turns a follower into the replication leader: replication
+// is sealed, the durable store re-opens writable at epoch+1, and from the
+// response onward this server accepts mutations and serves the
+// replication stream. On a server that already leads a store the call is
+// idempotent (the failover driver may retry); an in-memory server has no
+// durable history to promote and answers 409.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	s.mu.RLock()
+	store, fo := s.store, s.follower
+	s.mu.RUnlock()
+	switch {
+	case fo != nil:
+		st, err := fo.Promote()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, journal.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, errorResponse{Error: "promote: " + err.Error()})
+			return
+		}
+		s.mu.Lock()
+		s.pl = st.Planner()
+		s.store = st
+		s.follower = nil
+		s.leaderHint = ""
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, PromoteResponse{Role: "leader", Epoch: st.Epoch(), DurableSeq: st.DurableSeq()})
+	case store != nil:
+		writeJSON(w, http.StatusOK, PromoteResponse{Role: "leader", Epoch: store.Epoch(), DurableSeq: store.DurableSeq()})
+	default:
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "in-memory server cannot be promoted (no durable history)"})
+	}
+}
+
+// CloseState closes whatever durable state the server currently owns: the
+// follower it was created with, or the store it was created with or
+// acquired by promotion. Commands call it on shutdown instead of tracking
+// the store themselves, since a runtime promotion changes the owner.
+func (s *Server) CloseState() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	if s.follower != nil {
+		firstErr = s.follower.Close()
+	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -87,6 +87,22 @@
 // following 403 + X-STGQ-Leader redirects when the leader moves — and
 // retries a read once on another backend when a follower dies
 // mid-request.
+//
+// # Failover and epochs
+//
+// Every durable store carries a leader epoch — a generation number
+// persisted in its meta file and reported in /status — and replication
+// streams advertise it. A follower rejects the stream of a leader whose
+// epoch is below its own (fencing: the revived corpse of a failed-over
+// leader cannot roll anyone back) and re-bootstraps when a higher-epoch
+// leader's history diverges from its local tail. Promotion — POST
+// /promote on a follower, issued by an operator or by the gateway's
+// opt-in auto-failover (stgqgw -auto-failover <grace>) — seals
+// replication and re-opens the follower's store writable at epoch+1.
+// The gateway orders leader claims by (epoch, durableSeq), so a stale
+// claimant never wins on history length alone, and while no leader is
+// known it fails mutations fast with 503 + Retry-After instead of
+// dialing a dead address.
 package stgq
 
 import (
