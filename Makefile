@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke race e2e-failover
+.PHONY: check build test vet fmt-check fmt bench bench-smoke race e2e-failover e2e-ryw docs-check
 
 check: fmt-check vet build test
 
@@ -43,3 +43,19 @@ bench-smoke:
 # uncached (-count=1), verbose handle for CI and operators.
 e2e-failover:
 	$(GO) test -run='^TestGatewayAutoFailover$$' -count=1 -v ./internal/gateway
+
+# The read-your-writes acceptance scenario: under a deliberately lagging
+# follower that ordinary reads genuinely prefer, a session's read after
+# its own write never observes pre-write state (caught-up-follower
+# routing, follower-side read barrier, or leader fallback) — including
+# across a leader kill + auto-promotion. Also runs inside plain `make
+# test` (it only skips under -short); this target is the explicit,
+# uncached (-count=1), verbose handle for CI and operators.
+e2e-ryw:
+	$(GO) test -run='^TestGatewayReadYourWrites$$' -count=1 -v ./internal/gateway
+
+# Documentation gate: every exported identifier in the cluster packages
+# (gateway, replica, journal, service) carries a doc comment, and every
+# relative link in README.md and docs/ resolves.
+docs-check:
+	$(GO) run ./internal/tools/docscheck

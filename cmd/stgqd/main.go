@@ -33,6 +33,13 @@
 // -auto-failover) turns the follower into the new leader in place: it
 // re-opens its store writable at epoch+1, which fences the dead leader's
 // replication stream should it come back.
+//
+// Durable servers speak the cluster's read-your-writes protocol: every
+// acknowledged mutation response carries the journal's durable sequence
+// number in X-STGQ-Write-Seq, and a query carrying an X-STGQ-Min-Seq
+// floor is held (up to -barrier-wait) until the local state has reached
+// it — or answered 412 so the gateway can fall back to a fresher
+// backend. See docs/consistency.md.
 package main
 
 import (
@@ -67,14 +74,15 @@ func loadDataset(path string) (*dataset.Dataset, error) {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		data      = flag.String("data", "", "dataset JSON to preload (with -data-dir: bulk-import into an empty store)")
-		horizon   = flag.Int("horizon", 7*stgq.SlotsPerDay, "schedule horizon in slots (empty start only)")
-		dataDir   = flag.String("data-dir", "", "directory for the durable journal + snapshots (empty: in-memory)")
-		snapEach  = flag.Int("snapshot-every", journal.DefaultSnapshotEvery, "mutations between automatic snapshots")
-		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
-		follow    = flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
-		advertise = flag.String("advertise", "", "write-endpoint URL advertised to clients (follower default: the -follow URL)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		data        = flag.String("data", "", "dataset JSON to preload (with -data-dir: bulk-import into an empty store)")
+		horizon     = flag.Int("horizon", 7*stgq.SlotsPerDay, "schedule horizon in slots (empty start only)")
+		dataDir     = flag.String("data-dir", "", "directory for the durable journal + snapshots (empty: in-memory)")
+		snapEach    = flag.Int("snapshot-every", journal.DefaultSnapshotEvery, "mutations between automatic snapshots")
+		drainFor    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		follow      = flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
+		advertise   = flag.String("advertise", "", "write-endpoint URL advertised to clients (follower default: the -follow URL)")
+		barrierWait = flag.Duration("barrier-wait", service.DefaultBarrierWait, "max wait for an X-STGQ-Min-Seq read barrier before answering 412")
 	)
 	flag.Parse()
 
@@ -164,6 +172,7 @@ func main() {
 	default:
 		srv = service.New(*horizon)
 	}
+	srv.BarrierWait = *barrierWait
 
 	// Replication streams long-poll for up to their MaxConnected; during
 	// shutdown they must end immediately or the graceful drain would

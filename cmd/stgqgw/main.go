@@ -18,6 +18,14 @@
 // view of the pool. SIGINT/SIGTERM stop the prober and drain in-flight
 // requests before exiting.
 //
+// Read-your-writes: every acknowledged mutation response carries the
+// leader's durable sequence number in X-STGQ-Write-Seq. A read that
+// echoes it (or that names a sticky session with X-STGQ-Session — the
+// gateway tracks up to -sessions of them) is guaranteed to observe that
+// write: it is routed to a follower already past the sequence number,
+// held at a follower-side read barrier until one catches up, or served
+// by the leader. See docs/consistency.md for the exact contract.
+//
 // With -auto-failover <grace>, a cluster whose leader has been
 // unreachable for the grace period is failed over automatically: the
 // gateway promotes the most caught-up healthy follower (POST /promote)
@@ -46,6 +54,7 @@ func main() {
 		addr       = flag.String("addr", ":8000", "listen address")
 		backends   = flag.String("backends", "", "comma-separated backend base URLs (leader and followers, roles are probed)")
 		maxLag     = flag.Duration("max-lag", 0, "default read-staleness bound (0: unbounded; per-request override: X-STGQ-Max-Lag-Seconds)")
+		sessions   = flag.Int("sessions", 0, "max tracked read-your-writes sessions (X-STGQ-Session; 0: default 4096, negative: disable tracking)")
 		probeEvery = flag.Duration("probe-every", gateway.DefaultProbeInterval, "backend /status polling interval")
 		failAfter  = flag.Duration("auto-failover", 0, "promote the most caught-up follower after the leader has been unreachable this long (0: manual failover only)")
 		drainFor   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
@@ -55,6 +64,7 @@ func main() {
 	gw, err := gateway.New(gateway.Config{
 		Backends:      strings.Split(*backends, ","),
 		MaxLag:        *maxLag,
+		SessionCap:    *sessions,
 		ProbeInterval: *probeEvery,
 		AutoFailover:  *failAfter,
 	})

@@ -80,16 +80,27 @@ func (b *Backend) markDown(err error) {
 // BackendStatus is one backend's entry in the gateway's own status
 // response.
 type BackendStatus struct {
-	URL     string `json:"url"`
-	Role    string `json:"role,omitempty"`
-	Healthy bool   `json:"healthy"`
+	// URL is the backend's base URL — its identity in the pool.
+	URL string `json:"url"`
+	// Role is the backend's self-reported role ("leader", "follower", or
+	// "" for in-memory).
+	Role string `json:"role,omitempty"`
+	// Healthy reports whether the last probe succeeded and the backend
+	// called itself routable.
+	Healthy bool `json:"healthy"`
 	// StalenessSeconds estimates how far behind the leader the backend's
 	// state is (0 = caught up; -1 = unknown).
 	StalenessSeconds float64 `json:"stalenessSeconds"`
-	Epoch            uint64  `json:"epoch,omitempty"`
-	DurableSeq       uint64  `json:"durableSeq"`
-	Pending          int64   `json:"pending"`
-	Served           uint64  `json:"served"`
-	Error            string  `json:"error,omitempty"`
-	ProbedAt         string  `json:"probedAt,omitempty"`
+	// Epoch is the probed leader epoch (0 = in-memory; see health.Epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// DurableSeq is the probed durable/applied sequence number.
+	DurableSeq uint64 `json:"durableSeq"`
+	// Pending counts in-flight proxied requests right now.
+	Pending int64 `json:"pending"`
+	// Served counts proxied requests completed over the backend's lifetime.
+	Served uint64 `json:"served"`
+	// Error is the last probe or proxy failure ("" when healthy).
+	Error string `json:"error,omitempty"`
+	// ProbedAt is the RFC 3339 time of the last completed probe.
+	ProbedAt string `json:"probedAt,omitempty"`
 }

@@ -37,6 +37,22 @@
 // leader rather than failing. Reads never silently fall below the bound:
 // a backend admitted by the estimate can only be fresher than estimated.
 //
+// # Read-your-writes sessions
+//
+// Async replication means a client that writes through the gateway could
+// re-read through a lagging follower and miss its own write — fatal for
+// the interactive "edit availability, re-plan" loop. The gateway closes
+// that window per client: every acknowledged mutation response carries
+// the leader's durable sequence number (X-STGQ-Write-Seq), and a read
+// that presents a floor — by echoing that header, by naming a sticky
+// session (X-STGQ-Session) whose last write the gateway remembers, or
+// with an explicit X-STGQ-Min-Seq — is routed only to state at or past
+// it: a follower already probed past the floor, else a follower holding
+// the forwarded X-STGQ-Min-Seq read barrier until it catches up, else
+// the leader (a follower whose barrier times out answers 412 and the
+// gateway retries the read on the leader). docs/consistency.md states
+// the resulting contract precisely.
+//
 // # Failover
 //
 // Every durable backend reports a leader epoch — a fencing generation
@@ -78,6 +94,11 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe request (default 2s).
 	ProbeTimeout time.Duration
+	// SessionCap bounds the sticky read-your-writes session table (see
+	// SessionHeader): 0 means DefaultSessionCap, negative disables
+	// session tracking entirely (clients that want read-your-writes must
+	// then echo X-STGQ-Write-Seq themselves).
+	SessionCap int
 	// AutoFailover, when positive, makes the gateway drive failover
 	// itself: once the cluster has had no healthy leader for this grace
 	// period, the prober promotes the most caught-up healthy follower
@@ -106,6 +127,15 @@ type Gateway struct {
 	// most recent 403 redirect hint — whichever arrived last ("" when
 	// the last known leader died and nothing has replaced it yet).
 	leader atomic.Value // string
+
+	// sessions maps sticky session ids to their read-your-writes floor
+	// (nil when session tracking is disabled).
+	sessions *sessionTable
+	// rywReads counts reads that carried a read-your-writes floor;
+	// rywLeaderRetries counts barrier misses (a follower answered 412)
+	// that were retried on the leader.
+	rywReads         atomic.Uint64
+	rywLeaderRetries atomic.Uint64
 
 	autoFailover time.Duration
 
@@ -152,6 +182,13 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if g.client == nil {
 		g.client = &http.Client{}
+	}
+	sessionCap := cfg.SessionCap
+	if sessionCap == 0 {
+		sessionCap = DefaultSessionCap
+	}
+	if sessionCap > 0 {
+		g.sessions = newSessionTable(sessionCap)
 	}
 	g.probeClient = &http.Client{}
 	g.leader.Store("")
@@ -248,54 +285,53 @@ func (g *Gateway) backendFor(url string) *Backend {
 }
 
 // pickRead selects the backend for a read with the given staleness bound
-// (seconds; < 0 = unbounded), skipping exclude (the backend a first
-// attempt just failed on). Selection tiers:
+// (seconds; < 0 = unbounded) and read-your-writes floor minSeq (0 = no
+// floor), skipping exclude (the backend a first attempt just failed on).
+// Selection tiers:
 //
-//  1. healthy followers within the bound — least pending requests wins;
-//  2. the leader (always current);
-//  3. unbounded reads only: any other healthy backend (an in-memory
-//     server, or followers of unknown staleness when no leader has ever
-//     been observed) — serving degraded beats failing the request.
+//  1. healthy followers within the bound whose probed position has
+//     reached the floor — least pending requests wins;
+//  2. floored reads only: healthy followers within the bound still below
+//     the floor — the most caught-up wins, and the X-STGQ-Min-Seq
+//     barrier the gateway forwards holds the read at the follower until
+//     it reaches the floor (a 412 barrier miss is retried on the
+//     leader; see relayRead);
+//  3. the leader (always current, and the origin of every sequence
+//     number);
+//  4. unbounded, floorless reads only: any other healthy backend (an
+//     in-memory server, or followers of unknown staleness when no leader
+//     has ever been observed) — serving degraded beats failing the
+//     request.
 //
-// A bounded read never reaches tier 3: with no eligible follower and no
-// leader it returns nil (503) rather than silently violating the client's
-// freshness contract. Fenced followers — durable backends whose epoch is
-// below the observed floor — are never picked at any tier: their state is
-// an orphaned timeline from before a failover, and the watermark clock
-// (truncated to the new history) would report them as caught up.
-func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
+// A bounded or floored read never reaches tier 4: with no eligible
+// follower and no leader it returns nil (503) rather than silently
+// violating the client's freshness contract — an in-memory backend has
+// no sequence coordinate at all. Fenced followers — durable backends
+// whose epoch is below the observed floor — are never picked at any
+// tier: their state is an orphaned timeline from before a failover, and
+// the watermark clock (truncated to the new history) would report them
+// as caught up.
+func (g *Gateway) pickRead(bound float64, minSeq uint64, exclude *Backend) *Backend {
 	leaderURL := g.leaderURL()
 	g.mu.Lock()
 	floor := g.maxEpoch
 	g.mu.Unlock()
-	var best *Backend
-	var bestPending int64
-	for _, b := range g.backends {
-		if b == exclude || b.URL == leaderURL {
-			continue
-		}
-		h := b.health()
-		if !h.Healthy || h.Role != "follower" || h.Epoch < floor {
-			continue
-		}
-		if bound >= 0 {
-			if st := g.staleness(h.DurableSeq); st < 0 || st > bound {
-				continue
-			}
-		}
-		if p := b.pending.Load(); best == nil || p < bestPending {
-			best, bestPending = b, p
-		}
+	if b := g.pickFollower(bound, minSeq, floor, exclude, leaderURL, false); b != nil {
+		return b
 	}
-	if best != nil {
-		return best
+	if minSeq > 0 {
+		if b := g.pickFollower(bound, 0, floor, exclude, leaderURL, true); b != nil {
+			return b
+		}
 	}
 	if lb := g.backendFor(leaderURL); lb != nil && lb != exclude && lb.health().Healthy {
 		return lb
 	}
-	if bound >= 0 {
+	if bound >= 0 || minSeq > 0 {
 		return nil
 	}
+	var best *Backend
+	var bestPending int64
 	for _, b := range g.backends {
 		if b == exclude || b.URL == leaderURL {
 			continue
@@ -306,6 +342,44 @@ func (g *Gateway) pickRead(bound float64, exclude *Backend) *Backend {
 		}
 		if p := b.pending.Load(); best == nil || p < bestPending {
 			best, bestPending = b, p
+		}
+	}
+	return best
+}
+
+// pickFollower scans the healthy, unfenced followers within the
+// staleness bound whose probed position has reached minSeq. With
+// preferSeq set — the barrier tier — the most caught-up follower wins
+// (closest to the floor, so it clears the forwarded barrier soonest);
+// otherwise the one with the fewest pending requests (the load tier).
+func (g *Gateway) pickFollower(bound float64, minSeq, epochFloor uint64, exclude *Backend, leaderURL string, preferSeq bool) *Backend {
+	var best *Backend
+	var bestPending int64
+	var bestSeq uint64
+	for _, b := range g.backends {
+		if b == exclude || b.URL == leaderURL {
+			continue
+		}
+		h := b.health()
+		if !h.Healthy || h.Role != "follower" || h.Epoch < epochFloor || h.DurableSeq < minSeq {
+			continue
+		}
+		if bound >= 0 {
+			if st := g.staleness(h.DurableSeq); st < 0 || st > bound {
+				continue
+			}
+		}
+		p := b.pending.Load()
+		better := best == nil
+		if !better {
+			if preferSeq {
+				better = h.DurableSeq > bestSeq || (h.DurableSeq == bestSeq && p < bestPending)
+			} else {
+				better = p < bestPending
+			}
+		}
+		if better {
+			best, bestPending, bestSeq = b, p, h.DurableSeq
 		}
 	}
 	return best
@@ -323,11 +397,23 @@ type StatusResponse struct {
 	// AutoFailoverSeconds is the leaderless grace period before the
 	// gateway promotes a follower itself (0 = disabled).
 	AutoFailoverSeconds float64 `json:"autoFailoverSeconds,omitempty"`
-	// Failovers counts promotions this gateway has driven; LastFailover
-	// describes the most recent auto-failover decision.
-	Failovers    uint64          `json:"failovers,omitempty"`
-	LastFailover string          `json:"lastFailover,omitempty"`
-	Backends     []BackendStatus `json:"backends"`
+	// Failovers counts promotions this gateway has driven.
+	Failovers uint64 `json:"failovers,omitempty"`
+	// LastFailover describes the most recent auto-failover decision.
+	LastFailover string `json:"lastFailover,omitempty"`
+	// Sessions counts the sticky read-your-writes sessions currently
+	// tracked (absent when session tracking is disabled).
+	Sessions int `json:"sessions,omitempty"`
+	// RYWReads counts reads that carried a read-your-writes floor
+	// (session, echoed write seq, or explicit min seq).
+	RYWReads uint64 `json:"rywReads,omitempty"`
+	// RYWLeaderRetries counts read-your-writes barrier misses — a
+	// follower answered 412 within its bounded wait — that the gateway
+	// retried on the leader. A growing rate means replication lag is
+	// regularly outrunning the follower barrier wait.
+	RYWLeaderRetries uint64 `json:"rywLeaderRetries,omitempty"`
+	// Backends is the probed pool view, one entry per configured backend.
+	Backends []BackendStatus `json:"backends"`
 }
 
 // Status reports the gateway's current view of the pool.
@@ -342,6 +428,11 @@ func (g *Gateway) Status() StatusResponse {
 	resp.Failovers = g.failovers
 	resp.LastFailover = g.lastFailover
 	g.mu.Unlock()
+	if g.sessions != nil {
+		resp.Sessions = g.sessions.size()
+	}
+	resp.RYWReads = g.rywReads.Load()
+	resp.RYWLeaderRetries = g.rywLeaderRetries.Load()
 	for _, b := range g.backends {
 		h := b.health()
 		bs := BackendStatus{

@@ -33,11 +33,18 @@ type proxied struct {
 	body   []byte
 }
 
-// forwardRead proxies an idempotent read to the staleness-eligible
-// backend with the fewest in-flight requests, retrying exactly once on a
-// different backend when the first dies mid-request.
+// forwardRead proxies an idempotent read to the staleness- and
+// floor-eligible backend picked by pickRead, retrying exactly once on a
+// different backend when the first dies mid-request. Reads carrying a
+// read-your-writes floor (echoed write seq, sticky session, or explicit
+// min seq) additionally travel with an X-STGQ-Min-Seq barrier and fall
+// back to the leader on a barrier miss (relayRead).
 func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 	bound, ok := g.maxLagFor(w, r)
+	if !ok {
+		return
+	}
+	minSeq, ok := g.minSeqFor(w, r)
 	if !ok {
 		return
 	}
@@ -45,14 +52,24 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	b := g.pickRead(bound, nil)
+	if minSeq > 0 {
+		g.rywReads.Add(1)
+		// The floor travels to the backend as a read barrier even when
+		// the probe view says the pick is caught up: the probed position
+		// is an old observation, and a follower can regress between
+		// probes (snapshot re-bootstrap after divergence). The barrier is
+		// what makes the guarantee a guarantee; routing only makes it
+		// cheap.
+		r.Header.Set(MinSeqHeader, strconv.FormatUint(minSeq, 10))
+	}
+	b := g.pickRead(bound, minSeq, nil)
 	if b == nil {
 		writeError(w, http.StatusServiceUnavailable, "gateway: no healthy backend for reads")
 		return
 	}
 	p, err := g.doVia(r, b, body)
 	if err == nil {
-		relay(w, p, b.URL)
+		g.relayRead(w, r, p, b, minSeq, body)
 		return
 	}
 	if r.Context().Err() != nil {
@@ -64,15 +81,84 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b.markDown(err)
-	if b2 := g.pickRead(bound, b); b2 != nil {
+	if b2 := g.pickRead(bound, minSeq, b); b2 != nil {
 		if p2, err2 := g.doVia(r, b2, body); err2 == nil {
-			relay(w, p2, b2.URL)
+			g.relayRead(w, r, p2, b2, minSeq, body)
 			return
 		} else if r.Context().Err() == nil {
 			b2.markDown(err2)
 		}
 	}
 	writeError(w, http.StatusBadGateway, "gateway: backend unavailable: "+err.Error())
+}
+
+// minSeqFor resolves the read-your-writes floor for one read: the
+// maximum of the client-echoed X-STGQ-Write-Seq, a directly supplied
+// X-STGQ-Min-Seq, and the session table's memory of the X-STGQ-Session
+// session's last acknowledged write. ok=false means a header was
+// malformed (a 400 was written). Both floor headers are consumed here —
+// forwardRead re-issues the combined floor as one X-STGQ-Min-Seq barrier.
+func (g *Gateway) minSeqFor(w http.ResponseWriter, r *http.Request) (minSeq uint64, ok bool) {
+	for _, h := range []string{WriteSeqHeader, MinSeqHeader} {
+		v := r.Header.Get(h)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			// A malformed floor must fail loudly: silently dropping it
+			// would serve the read without the consistency the client
+			// asked for.
+			writeError(w, http.StatusBadRequest, "bad "+h+" header: "+v)
+			return 0, false
+		}
+		minSeq = max(minSeq, n)
+	}
+	r.Header.Del(WriteSeqHeader)
+	r.Header.Del(MinSeqHeader)
+	if g.sessions != nil {
+		if sid := r.Header.Get(SessionHeader); sid != "" {
+			minSeq = max(minSeq, g.sessions.get(sid))
+		}
+	}
+	return minSeq, true
+}
+
+// relayRead writes a read response to the client, first exhausting the
+// read-your-writes fallback chain: a 412 from a follower means it could
+// not reach the barrier floor within its bounded wait, and the leader —
+// the origin of every sequence number — is retried before the client
+// ever sees the miss. Only when the leader is unknown (mid-failover) or
+// unreachable does the honest 412 (with its Retry-After) reach the
+// client.
+func (g *Gateway) relayRead(w http.ResponseWriter, r *http.Request, p *proxied, b *Backend, minSeq uint64, body []byte) {
+	if minSeq > 0 && p.status == http.StatusPreconditionFailed {
+		if target := g.leaderURL(); target != "" && target != b.URL {
+			g.rywLeaderRetries.Add(1)
+			if p2, err := g.doTarget(r, target, body); err == nil {
+				relay(w, p2, target)
+				return
+			}
+		}
+	}
+	relay(w, p, b.URL)
+}
+
+// noteSessionWrite records an acknowledged mutation's durable sequence
+// number (the leader's X-STGQ-Write-Seq response header) against the
+// client's sticky session, keying every future read of that session to
+// state at or past the write.
+func (g *Gateway) noteSessionWrite(r *http.Request, p *proxied) {
+	if g.sessions == nil || p.status < 200 || p.status >= 300 {
+		return
+	}
+	sid := r.Header.Get(SessionHeader)
+	if sid == "" {
+		return
+	}
+	if seq, err := strconv.ParseUint(p.header.Get(WriteSeqHeader), 10, 64); err == nil && seq > 0 {
+		g.sessions.note(sid, seq)
+	}
 }
 
 // forwardMutation proxies a mutation to the leader. A 403 with an
@@ -107,6 +193,7 @@ func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
 		}
 		break
 	}
+	g.noteSessionWrite(r, p)
 	relay(w, p, target)
 }
 

@@ -57,7 +57,9 @@ import (
 // Record is one journaled mutation: a monotonically increasing sequence
 // number (1-based, dense) plus the mutation itself.
 type Record struct {
+	// Seq is the record's journal position (1-based, gapless).
 	Seq uint64
+	// Mut is the journaled mutation itself.
 	Mut stgq.Mutation
 }
 
@@ -77,6 +79,8 @@ var (
 // until the records survive a crash; it is called by a single goroutine
 // (the batcher's writer).
 type Appender interface {
+	// Append durably writes one group-committed batch.
 	Append(recs []Record) error
+	// Close releases the sink; further Appends fail.
 	Close() error
 }

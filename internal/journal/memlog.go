@@ -10,6 +10,7 @@ import (
 // exercised by truncating the buffer at arbitrary offsets. SyncDelay, when
 // set, simulates fsync latency to make group-commit effects visible.
 type MemLog struct {
+	// SyncDelay is the simulated per-Append fsync latency.
 	SyncDelay time.Duration
 
 	mu      sync.Mutex

@@ -22,9 +22,12 @@ type Options struct {
 	// this many mutations. 0 means DefaultSnapshotEvery; negative
 	// disables automatic snapshots (Close still writes a final one).
 	SnapshotEvery int
-	// MaxBatch / MaxWait tune group commit (see Batcher).
+	// MaxBatch bounds the records in one group-commit batch; MaxWait
+	// bounds how long a record waits for company before the batch
+	// flushes anyway (see Batcher).
 	MaxBatch int
-	MaxWait  time.Duration
+	// MaxWait is the group-commit flush deadline (see MaxBatch).
+	MaxWait time.Duration
 	// MaxSegmentBytes triggers size-based segment rotation.
 	MaxSegmentBytes int64
 }
@@ -53,17 +56,30 @@ type Stats struct {
 	// Epoch is the store's leader epoch (see BumpEpoch): the fencing
 	// coordinate replication and failover compare before trusting a
 	// leader's history.
-	Epoch           uint64 `json:"epoch"`
-	LastSeq         uint64 `json:"lastSeq"`
-	DurableSeq      uint64 `json:"durableSeq"`
-	Batches         uint64 `json:"batches"`
-	Records         uint64 `json:"records"`
-	Fsyncs          uint64 `json:"fsyncs"`
-	Segments        int    `json:"segments"`
-	SegmentBytes    int64  `json:"segmentBytes"`
-	Snapshots       uint64 `json:"snapshots"`
+	Epoch uint64 `json:"epoch"`
+	// LastSeq is the highest sequence number assigned (possibly still
+	// awaiting group commit); DurableSeq the highest known fsynced.
+	LastSeq uint64 `json:"lastSeq"`
+	// DurableSeq is the highest fsynced sequence number (see LastSeq).
+	DurableSeq uint64 `json:"durableSeq"`
+	// Batches and Records count group-commit flushes and the records
+	// they carried; Fsyncs counts physical syncs.
+	Batches uint64 `json:"batches"`
+	// Records counts journaled records since open (see Batches).
+	Records uint64 `json:"records"`
+	// Fsyncs counts physical syncs since open (see Batches).
+	Fsyncs uint64 `json:"fsyncs"`
+	// Segments and SegmentBytes size the live journal on disk.
+	Segments int `json:"segments"`
+	// SegmentBytes is the on-disk journal size (see Segments).
+	SegmentBytes int64 `json:"segmentBytes"`
+	// Snapshots counts snapshot cycles since open; LastSnapshotSeq is
+	// the position the newest snapshot covers.
+	Snapshots uint64 `json:"snapshots"`
+	// LastSnapshotSeq is the newest snapshot's position (see Snapshots).
 	LastSnapshotSeq uint64 `json:"lastSnapshotSeq"`
-	ReplayedOnBoot  int    `json:"replayedOnBoot"`
+	// ReplayedOnBoot counts journal records replayed by the last Open.
+	ReplayedOnBoot int `json:"replayedOnBoot"`
 	// SnapshotError is the most recent automatic-snapshot failure (""
 	// when the last attempt succeeded); mutations stay durable through
 	// the journal regardless.
@@ -104,7 +120,7 @@ type Store struct {
 	snapStop    chan struct{} // closed by Close: loop must exit
 	snapDone    chan struct{} // closed by the loop on exit
 
-	durNotify notifier      // broadcast after each durable commit (WaitDurable)
+	durNotify Notifier      // broadcast after each durable commit (WaitDurable)
 	closeCh   chan struct{} // closed by Close: unblocks WaitDurable
 
 	// afterExport, when non-nil, runs inside the snapshot cycle right
@@ -361,7 +377,7 @@ func (s *Store) onMutation(m stgq.Mutation) func() error {
 		}
 		// Wake tailing readers (replication streamers) now that the
 		// record is durable.
-		s.durNotify.broadcast()
+		s.durNotify.Broadcast()
 		if s.opts.SnapshotEvery > 0 && s.sinceSnap.Add(1) >= int64(s.opts.SnapshotEvery) {
 			// Poke the snapshot goroutine and move on: no writer ever
 			// pays the export + fsync + compaction latency. A snapshot
@@ -541,7 +557,7 @@ func (s *Store) Close() error {
 	// Unblock tailing readers and stop the background snapshot goroutine
 	// before the final cycle so the two never interleave.
 	close(s.closeCh)
-	s.durNotify.broadcast()
+	s.durNotify.Broadcast()
 	close(s.snapStop)
 	<-s.snapDone
 	var firstErr error

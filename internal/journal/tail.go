@@ -231,7 +231,7 @@ func (s *Store) WaitDurable(ctx context.Context, afterSeq uint64) error {
 		if s.DurableSeq() > afterSeq {
 			return nil
 		}
-		ch := s.durNotify.wait()
+		ch := s.durNotify.Wait()
 		if s.DurableSeq() > afterSeq {
 			return nil
 		}
@@ -304,14 +304,21 @@ func (s *Store) openLatestSnapshot() (io.ReadCloser, uint64, error) {
 	return nil, 0, os.ErrNotExist
 }
 
-// notifier is a broadcast edge: waiters grab the current channel, a
-// broadcast closes it. No allocation happens unless someone is waiting.
-type notifier struct {
+// Notifier is a broadcast edge: waiters grab the current channel with
+// Wait, a Broadcast closes it (waking everyone) and resets. No
+// allocation happens unless someone is waiting. The zero value is
+// ready to use. The journal's durability notifier and the replication
+// follower's applied-seq notifier are both instances; the usage pattern
+// is: check the condition, Wait() a channel, re-check the condition
+// (an advance between the check and the Wait would otherwise be
+// missed), then select on the channel.
+type Notifier struct {
 	mu sync.Mutex
 	ch chan struct{}
 }
 
-func (n *notifier) wait() <-chan struct{} {
+// Wait returns the channel the next Broadcast will close.
+func (n *Notifier) Wait() <-chan struct{} {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.ch == nil {
@@ -320,7 +327,8 @@ func (n *notifier) wait() <-chan struct{} {
 	return n.ch
 }
 
-func (n *notifier) broadcast() {
+// Broadcast wakes every current waiter (a no-op with none).
+func (n *Notifier) Broadcast() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.ch != nil {

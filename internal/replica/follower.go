@@ -60,8 +60,12 @@ type Config struct {
 // Status is a point-in-time view of replication progress, exposed by the
 // follower service's GET /status.
 type Status struct {
-	Leader     string `json:"leader"`
-	Connected  bool   `json:"connected"`
+	// Leader is the URL this follower replicates from.
+	Leader string `json:"leader"`
+	// Connected is true while a replication stream is live.
+	Connected bool `json:"connected"`
+	// AppliedSeq is the highest sequence number applied (and re-journaled)
+	// locally.
 	AppliedSeq uint64 `json:"appliedSeq"`
 	// Epoch is the follower's local leader epoch: the epoch its durable
 	// history was written under, raised when the replicated leader
@@ -69,19 +73,25 @@ type Status struct {
 	Epoch uint64 `json:"epoch"`
 	// LeaderSeq is the leader's durable sequence number as of the last
 	// record or heartbeat received.
-	LeaderSeq  uint64 `json:"leaderSeq"`
+	LeaderSeq uint64 `json:"leaderSeq"`
+	// LagRecords is LeaderSeq minus AppliedSeq: how many records behind
+	// the last-heard leader position this follower is.
 	LagRecords uint64 `json:"lagRecords"`
 	// LagSeconds is the time since the leader was last heard from
 	// (records or heartbeats); -1 before the first contact.
 	LagSeconds float64 `json:"lagSeconds"`
-	Reconnects uint64  `json:"reconnects"`
-	Bootstraps uint64  `json:"bootstraps"`
+	// Reconnects counts stream reconnects after errors (clean leader-side
+	// stream rotations excluded).
+	Reconnects uint64 `json:"reconnects"`
+	// Bootstraps counts completed snapshot re-bootstraps.
+	Bootstraps uint64 `json:"bootstraps"`
 	// Bootstrapping is true while a snapshot re-bootstrap is wiping and
 	// re-seeding the follower's store: the served planner is about to be
 	// replaced wholesale, so the follower must not be advertised as a
 	// healthy (merely stale) read backend.
-	Bootstrapping bool   `json:"bootstrapping,omitempty"`
-	LastError     string `json:"lastError,omitempty"`
+	Bootstrapping bool `json:"bootstrapping,omitempty"`
+	// LastError is the most recent replication failure ("" while healthy).
+	LastError string `json:"lastError,omitempty"`
 }
 
 // Follower replicates a leader's journal into its own durable store and
@@ -118,6 +128,11 @@ type Follower struct {
 	// covers the promoted state (the store's ownership moved on).
 	sealed atomic.Bool
 	closed atomic.Bool
+
+	// appliedCh wakes WaitApplied callers whenever the applied position
+	// advances — or the follower stops for good, so barrier waiters fail
+	// fast instead of running out their deadline against a dead replica.
+	appliedCh journal.Notifier
 }
 
 // NewFollower opens (or recovers) the follower's own store in cfg.Dir and
@@ -188,6 +203,37 @@ func (f *Follower) JournalStats() journal.Stats { return f.store().Stats() }
 // Epoch returns the follower's local leader epoch without touching the
 // store lock.
 func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// WaitApplied blocks until the follower's applied position has reached
+// seq (AppliedSeq >= seq), the context is done, or the follower has
+// stopped replicating for good (closed or sealed for promotion). It is
+// the follower half of the cluster's read-your-writes barrier: a read
+// carrying an X-STGQ-Min-Seq floor parks here until the write it wants
+// to observe has been applied locally. Unlike journal.WaitDurable, the
+// wait survives a snapshot re-bootstrap swapping the store out from
+// under it — the applied position, not any one store, is what advances.
+func (f *Follower) WaitApplied(ctx context.Context, seq uint64) error {
+	for {
+		if f.applied.Load() >= seq {
+			return nil
+		}
+		ch := f.appliedCh.Wait()
+		// Re-check both the position and the liveness AFTER registering:
+		// an advance (or a close) that slipped in between would otherwise
+		// leave this waiter parked on a channel nobody broadcasts again.
+		if f.applied.Load() >= seq {
+			return nil
+		}
+		if f.closed.Load() || f.sealed.Load() {
+			return fmt.Errorf("replica: wait for seq %d: %w", seq, journal.ErrClosed)
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // Defunct reports that the follower has stopped replicating for good:
 // it was closed, or a promotion attempt sealed it (and, on failure, left
@@ -288,6 +334,9 @@ func (f *Follower) Run(ctx context.Context) {
 // follower of the new history rejects them.
 func (f *Follower) Promote() (*journal.Store, error) {
 	f.sealed.Store(true)
+	// Barrier waiters must not ride out their deadlines against a replica
+	// that has stopped applying; they re-check the seal on wakeup.
+	f.appliedCh.Broadcast()
 	// With the seal visible, draining ingestMu guarantees no replicated
 	// record or snapshot reset is mid-write when the store closes.
 	f.ingestMu.Lock()
@@ -318,6 +367,7 @@ func (f *Follower) Promote() (*journal.Store, error) {
 	f.applied.Store(st.LastSeq())
 	f.epoch.Store(epoch)
 	f.closed.Store(true) // Close must not close the store the caller now owns
+	f.appliedCh.Broadcast()
 	return st, nil
 }
 
@@ -499,6 +549,7 @@ func (f *Follower) applyWire(msg wireMsg) error {
 		return fmt.Errorf("replica: local store assigned seq %d for leader record %d", got, msg.Seq)
 	}
 	f.applied.Store(msg.Seq)
+	f.appliedCh.Broadcast()
 	f.noteLeaderSeq(msg.Seq)
 	return nil
 }
@@ -534,6 +585,7 @@ func (f *Follower) resetFromSnapshot(seq, epoch, epochStart uint64, ds *dataset.
 	}
 	f.st = st
 	f.applied.Store(st.LastSeq())
+	f.appliedCh.Broadcast()
 	f.epoch.Store(st.Epoch())
 	return nil
 }
@@ -562,5 +614,6 @@ func (f *Follower) Close() error {
 	if f.closed.Swap(true) {
 		return nil
 	}
+	f.appliedCh.Broadcast() // wake barrier waiters into the closed check
 	return f.st.Close()
 }

@@ -31,11 +31,16 @@ const (
 // journal's segment files, so streaming shares no locks with the write
 // path, and long-polls on the store's durability notifier when caught up.
 type Streamer struct {
+	// Store is the journal whose committed records are streamed.
 	Store *journal.Store
-	// ChunkRecords / Heartbeat / MaxConnected fall back to the defaults
-	// above when zero.
+	// ChunkRecords bounds the records per frame batch (default
+	// DefaultChunkRecords).
 	ChunkRecords int
-	Heartbeat    time.Duration
+	// Heartbeat is the idle-frame cadence carrying the leader's durable
+	// seq (default DefaultHeartbeat).
+	Heartbeat time.Duration
+	// MaxConnected rotates a stream after this long, so followers
+	// re-resolve a moved leader (default DefaultMaxConnected).
 	MaxConnected time.Duration
 }
 

@@ -1,0 +1,117 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestWaitApplied covers the read-barrier primitive: an already-reached
+// floor returns immediately, a floor ahead of the applied position is
+// released by replication catching up, an unreachable floor runs out the
+// caller's deadline, and a closed follower fails waiters fast instead of
+// letting them ride out the deadline.
+func TestWaitApplied(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	for i := 0; i < 5; i++ {
+		if _, err := leader.st.Planner().AddPerson("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := startFollower(t, t.TempDir(), leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+
+	// Already applied: immediate.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := f.fo.WaitApplied(ctx, 5); err != nil {
+		t.Fatalf("reached floor: %v", err)
+	}
+
+	// A floor one write ahead is released by the replicated write.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- f.fo.WaitApplied(ctx, 6)
+	}()
+	if _, err := leader.st.Planner().AddPerson("late"); err != nil { // seq 6
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("barrier not released by the replicated write: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitApplied never woke for the replicated write")
+	}
+
+	// An unreachable floor runs out the caller's deadline.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if err := f.fo.WaitApplied(ctx2, 999); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unreachable floor: err %v, want deadline exceeded", err)
+	}
+
+	// A closed follower fails pending waiters promptly (ErrClosed, not a
+	// full deadline wait).
+	waiting := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		waiting <- f.fo.WaitApplied(ctx, 999)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	f.stop()
+	select {
+	case err := <-waiting:
+		if !errors.Is(err, journal.ErrClosed) {
+			t.Fatalf("waiter on closed follower: err %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never released the parked waiter")
+	}
+
+	// And a follower that is already closed fails immediately.
+	if err := f.fo.WaitApplied(context.Background(), 999); !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("closed follower: err %v, want ErrClosed", err)
+	}
+}
+
+// TestWaitAppliedAcrossPromotion: Promote seals replication; parked
+// barrier waiters must wake and fail rather than block the promotion's
+// clients for their full deadline. (The service swaps the follower out
+// on promotion, so new reads barrier against the store instead.)
+func TestWaitAppliedAcrossPromotion(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), journal.Options{HorizonSlots: 14})
+	if _, err := leader.st.Planner().AddPerson("p"); err != nil {
+		t.Fatal(err)
+	}
+	f := startFollower(t, t.TempDir(), leader.ts.URL)
+	waitCaughtUp(t, f.fo, leader.st)
+
+	waiting := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		waiting <- f.fo.WaitApplied(ctx, 999)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	st, err := f.fo.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	select {
+	case err := <-waiting:
+		if err == nil {
+			t.Fatal("waiter satisfied by a promotion that never reached its floor")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("promotion never released the parked waiter")
+	}
+}

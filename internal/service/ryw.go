@@ -1,0 +1,113 @@
+package service
+
+// This file is the service half of the cluster's read-your-writes
+// contract (see docs/consistency.md). Durable leaders stamp every
+// acknowledged mutation with the journal's durable sequence number
+// (X-STGQ-Write-Seq); any durable server honors a read barrier
+// (X-STGQ-Min-Seq) by holding the query until its own state has reached
+// that sequence number — or answering 412 when it cannot within the
+// bounded wait, so a routing layer (the cluster gateway) can fall back
+// to a fresher backend instead of serving pre-write state.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// WriteSeqHeader is the response header durable leaders attach to every
+// acknowledged mutation: the journal's durable sequence number at the
+// moment the write was acknowledged, i.e. a position at or past the
+// write itself. A client (or the cluster gateway, per session) echoes it
+// on subsequent reads — directly as MinSeqHeader, or via the gateway's
+// X-STGQ-Write-Seq / X-STGQ-Session handling — to be guaranteed to
+// observe its own write. In-memory servers have no replication
+// coordinate and send no header.
+const WriteSeqHeader = "X-STGQ-Write-Seq"
+
+// MinSeqHeader is the request header carrying a read barrier for the
+// query endpoints: the server answers only once its durable (leader) or
+// applied (follower) sequence number has reached the given value. A
+// server that cannot reach the floor within its bounded wait answers
+// 412 Precondition Failed (plus Retry-After) rather than serving state
+// older than the caller's own writes. Malformed values are a 400.
+const MinSeqHeader = "X-STGQ-Min-Seq"
+
+// DefaultBarrierWait bounds how long a query holding a MinSeqHeader
+// barrier waits for replication to catch up before answering 412. It
+// trades read latency against leader offload: long enough for a healthy
+// follower one group-commit behind, short enough that a stalled replica
+// degrades to the leader promptly.
+const DefaultBarrierWait = 2 * time.Second
+
+// noteWriteSeq stamps a just-acknowledged mutation response with the
+// store's durable sequence number. Mutations on a durable server return
+// only after their record is fsynced, so DurableSeq here is at or past
+// the write's own sequence number — a floor that makes the write
+// visible under any read barrier at that value. Must run before the
+// response status is written. In-memory servers stamp nothing.
+func (s *Server) noteWriteSeq(w http.ResponseWriter) {
+	s.mu.RLock()
+	st := s.store
+	s.mu.RUnlock()
+	if st != nil {
+		w.Header().Set(WriteSeqHeader, strconv.FormatUint(st.DurableSeq(), 10))
+	}
+}
+
+// awaitMinSeq enforces the MinSeqHeader read barrier for one request.
+// It returns false when a response has already been written: 400 for a
+// malformed header, 412 when the barrier cannot be satisfied within the
+// bounded wait (BarrierWait, default DefaultBarrierWait) — including on
+// an in-memory server, which has no sequence coordinate at all.
+func (s *Server) awaitMinSeq(w http.ResponseWriter, r *http.Request) bool {
+	v := r.Header.Get(MinSeqHeader)
+	if v == "" {
+		return true
+	}
+	seq, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad " + MinSeqHeader + " header: " + v})
+		return false
+	}
+	if seq == 0 {
+		return true // everything is at least at seq 0
+	}
+	s.mu.RLock()
+	st, fo := s.store, s.follower
+	s.mu.RUnlock()
+	wait := s.BarrierWait
+	if wait <= 0 {
+		wait = DefaultBarrierWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	var werr error
+	switch {
+	case fo != nil:
+		werr = fo.WaitApplied(ctx, seq)
+	case st != nil:
+		// The leader is the source of the sequence numbers, so normally it
+		// already holds seq; a floor past its durable position names a
+		// write this history never acknowledged (e.g. one lost to a
+		// failover) and the wait runs out honestly.
+		if st.DurableSeq() < seq {
+			werr = st.WaitDurable(ctx, seq-1)
+		}
+	default:
+		werr = errors.New("in-memory server has no replication position")
+	}
+	if werr == nil {
+		return true
+	}
+	// Retry-After: the barrier is about replication lag, which a healthy
+	// cluster clears in well under a second.
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusPreconditionFailed, errorResponse{
+		Error: fmt.Sprintf("read barrier: state has not reached seq %d: %v", seq, werr),
+	})
+	return false
+}

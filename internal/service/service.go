@@ -21,6 +21,17 @@
 // Infeasible queries return 422; malformed requests 400; unknown people
 // 404.
 //
+// # Read-your-writes headers
+//
+// Durable leaders stamp every acknowledged mutation response with
+// X-STGQ-Write-Seq (WriteSeqHeader) — the journal's durable sequence
+// number at the ack. Query endpoints honor an X-STGQ-Min-Seq
+// (MinSeqHeader) read barrier: the query is held until the server's
+// durable/applied position reaches the floor, or answered 412 after the
+// bounded wait (Server.BarrierWait) so a routing layer can fall back to
+// a fresher backend. The cluster gateway composes the two into
+// per-session read-your-writes; see docs/consistency.md.
+//
 // # Persistence
 //
 // A server created with NewWithStore journals every mutation through the
@@ -58,6 +69,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	stgq "repro"
 	"repro/internal/journal"
@@ -77,6 +89,12 @@ const LeaderHeader = "X-STGQ-Leader"
 // pointers), which POST /promote swaps when a follower becomes the
 // leader.
 type Server struct {
+	// BarrierWait bounds how long a query holding an X-STGQ-Min-Seq read
+	// barrier waits for this server's state to catch up before answering
+	// 412 (see MinSeqHeader). Zero means DefaultBarrierWait. Set it
+	// before serving; it is read without synchronization.
+	BarrierWait time.Duration
+
 	mu         sync.RWMutex
 	pl         *stgq.Planner
 	store      *journal.Store    // nil for in-memory servers
@@ -197,84 +215,120 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // AddPersonRequest registers one person.
 type AddPersonRequest struct {
+	// Name is the person's display name (may repeat; ids are the identity).
 	Name string `json:"name"`
 }
 
 // AddPersonResponse returns the new person's id.
 type AddPersonResponse struct {
+	// ID is the assigned person id, dense from 0.
 	ID int `json:"id"`
 }
 
 // FriendshipRequest records or (distance ignored) removes a social edge.
 type FriendshipRequest struct {
-	A        int     `json:"a"`
-	B        int     `json:"b"`
+	// A and B are the endpoint person ids (order irrelevant).
+	A int `json:"a"`
+	// B is the other endpoint (see A).
+	B int `json:"b"`
+	// Distance is the edge's social distance (closeness weight).
 	Distance float64 `json:"distance,omitempty"`
 }
 
 // AvailabilityRequest marks a slot range free or busy.
 type AvailabilityRequest struct {
-	Person    int  `json:"person"`
-	From      int  `json:"from"`
-	To        int  `json:"to"`
+	// Person is the person id whose calendar changes.
+	Person int `json:"person"`
+	// From and To bound the slot range [From, To).
+	From int `json:"from"`
+	// To is the exclusive end of the range (see From).
+	To int `json:"to"`
+	// Available marks the range free (true) or busy (false).
 	Available bool `json:"available"`
 }
 
 // PolicyRequest sets a person's schedule-sharing policy ("all", "friends"
 // or "none"; see stgq.SharePolicy).
 type PolicyRequest struct {
-	Person int    `json:"person"`
+	// Person is the person id whose policy changes.
+	Person int `json:"person"`
+	// Policy is the parsed policy name: "all", "friends" or "none".
 	Policy string `json:"policy"`
 }
 
 // QueryRequest carries the query parameters shared by all query endpoints.
 type QueryRequest struct {
+	// Initiator is the person planning the activity.
 	Initiator int `json:"initiator"`
-	P         int `json:"p"`
-	S         int `json:"s"`
-	K         int `json:"k"`
-	M         int `json:"m,omitempty"`
+	// P is the group size including the initiator.
+	P int `json:"p"`
+	// S is the social radius: candidates within S edges of the initiator.
+	S int `json:"s"`
+	// K is the acquaintance constraint: max unacquainted co-attendees per
+	// member.
+	K int `json:"k"`
+	// M is the activity length in slots (temporal queries only).
+	M int `json:"m,omitempty"`
 	// Algorithm: "", "select", "baseline", or "ip".
 	Algorithm string `json:"algorithm,omitempty"`
 }
 
 // MemberJSON is one attendee in a response.
 type MemberJSON struct {
-	ID       int     `json:"id"`
-	Name     string  `json:"name,omitempty"`
+	// ID is the attendee's person id.
+	ID int `json:"id"`
+	// Name is the attendee's display name ("" when unnamed).
+	Name string `json:"name,omitempty"`
+	// Distance is the attendee's social distance to the initiator.
 	Distance float64 `json:"distance"`
 }
 
 // GroupResponse answers /query/group.
 type GroupResponse struct {
-	Members       []MemberJSON `json:"members"`
-	TotalDistance float64      `json:"totalDistance"`
+	// Members lists the chosen attendees, initiator included.
+	Members []MemberJSON `json:"members"`
+	// TotalDistance is the group's summed social distance (the minimized
+	// objective).
+	TotalDistance float64 `json:"totalDistance"`
 }
 
 // PlanResponse answers /query/activity.
 type PlanResponse struct {
 	GroupResponse
-	WindowStart int    `json:"windowStart"`
-	WindowEnd   int    `json:"windowEnd"` // exclusive
+	// WindowStart and WindowEnd bound the chosen activity slots
+	// [start, end).
+	WindowStart int `json:"windowStart"`
+	// WindowEnd is the exclusive end slot (see WindowStart).
+	WindowEnd int `json:"windowEnd"`
+	// WindowHuman renders the window as a day/time phrase.
 	WindowHuman string `json:"window"`
 }
 
 // ManualResponse answers /query/manual.
 type ManualResponse struct {
 	GroupResponse
+	// WindowStart and WindowEnd bound the manually coordinated slots
+	// [start, end).
 	WindowStart int `json:"windowStart"`
-	WindowEnd   int `json:"windowEnd"`
-	ObservedK   int `json:"observedK"`
+	// WindowEnd is the exclusive end slot (see WindowStart).
+	WindowEnd int `json:"windowEnd"`
+	// ObservedK is k_h: the largest unacquainted count any member tolerates
+	// in the manual plan.
+	ObservedK int `json:"observedK"`
 }
 
 // StatusResponse answers /status. Journal is present only on durable
 // servers (NewWithStore and followers, which journal applied records into
 // their own store); Replication only on followers.
 type StatusResponse struct {
-	People      int    `json:"people"`
-	Friendships int    `json:"friendships"`
-	Horizon     int    `json:"horizonSlots"`
-	Role        string `json:"role,omitempty"` // "leader" or "follower"; "" in-memory
+	// People and Friendships count the served population.
+	People int `json:"people"`
+	// Friendships counts the social edges (see People).
+	Friendships int `json:"friendships"`
+	// Horizon is the schedule horizon in slots.
+	Horizon int `json:"horizonSlots"`
+	// Role is "leader" or "follower"; "" on in-memory servers.
+	Role string `json:"role,omitempty"`
 	// Healthy is false while the server cannot be trusted as a read
 	// backend — today only a follower mid-snapshot-bootstrap (its planner
 	// is being replaced wholesale). The cluster gateway's health prober
@@ -292,8 +346,10 @@ type StatusResponse struct {
 	// to estimate staleness (0 on in-memory servers).
 	DurableSeq uint64 `json:"durableSeq"`
 	// Leader is the write endpoint a follower redirects mutations to.
-	Leader      string          `json:"leader,omitempty"`
-	Journal     *journal.Stats  `json:"journal,omitempty"`
+	Leader string `json:"leader,omitempty"`
+	// Journal carries the write-path statistics of durable servers.
+	Journal *journal.Stats `json:"journal,omitempty"`
+	// Replication carries a follower's replication progress.
 	Replication *replica.Status `json:"replication,omitempty"`
 }
 
@@ -319,6 +375,7 @@ func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteWriteSeq(w)
 	writeJSON(w, http.StatusOK, AddPersonResponse{ID: int(id)})
 }
 
@@ -335,6 +392,7 @@ func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteWriteSeq(w)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -351,6 +409,7 @@ func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, err)
 		return
 	}
+	s.noteWriteSeq(w)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -373,6 +432,7 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteWriteSeq(w)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -394,6 +454,7 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteWriteSeq(w)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -410,6 +471,9 @@ func parseAlgorithm(name string) (stgq.Algorithm, error) {
 }
 
 func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitMinSeq(w, r) {
+		return
+	}
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -431,6 +495,9 @@ func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitMinSeq(w, r) {
+		return
+	}
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -460,6 +527,9 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitMinSeq(w, r) {
+		return
+	}
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -536,8 +606,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // PromoteResponse answers POST /promote.
 type PromoteResponse struct {
-	Role       string `json:"role"`
-	Epoch      uint64 `json:"epoch"`
+	// Role is always "leader" on success.
+	Role string `json:"role"`
+	// Epoch is the new leader epoch the promotion bumped to.
+	Epoch uint64 `json:"epoch"`
+	// DurableSeq is the promoted history's durable position.
 	DurableSeq uint64 `json:"durableSeq"`
 }
 
