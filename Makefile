@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke race e2e-failover e2e-ryw docs-check
+.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check race e2e-failover e2e-ryw docs-check
+
+# Benchmark reports (BENCH_journal.json, BENCH_gateway.json) land in the
+# repo root regardless of each test binary's working directory; the
+# timestamp is pinned once per make invocation so both reports agree.
+BENCH_ENV = STGQ_BENCH_OUT=$(CURDIR) STGQ_BENCH_TS=$$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 check: fmt-check vet build test
 
@@ -27,14 +32,22 @@ fmt:
 	gofmt -w .
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(BENCH_ENV) $(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(MAKE) bench-check
 
 # One-iteration smoke of the hot write and proxy paths: catches a broken
 # journal append or gateway proxy pipeline at build time without the cost
-# of a real benchmark run.
+# of a real benchmark run. Leaves validated BENCH_journal.json and
+# BENCH_gateway.json in the repo root (CI archives them as artifacts).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
-	$(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway
+	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
+	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway
+	$(MAKE) bench-check
+
+# Validate the emitted benchmark reports: parseable, named, positive
+# ns/op, at least one populated histogram each.
+bench-check:
+	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json
 
 # The leader-kill acceptance scenario: auto-failover promotes a follower,
 # writes resume at the new epoch with zero acknowledged loss, and the

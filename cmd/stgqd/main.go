@@ -50,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +62,22 @@ import (
 	"repro/internal/replica"
 	"repro/internal/service"
 )
+
+// servePprof serves net/http/pprof on its own listener, kept off the
+// service mux so profiling endpoints are never exposed on the public
+// address. Errors are fatal: an operator who asked for -pprof and
+// cannot get it should find out immediately, not at incident time.
+func servePprof(prog, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("%s: pprof listening on %s\n", prog, addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatalf("%s: pprof: %v", prog, srv.ListenAndServe())
+}
 
 // loadDataset reads a dataset JSON file.
 func loadDataset(path string) (*dataset.Dataset, error) {
@@ -83,8 +100,14 @@ func main() {
 		follow      = flag.String("follow", "", "run as a read-only follower replicating this leader URL (requires -data-dir)")
 		advertise   = flag.String("advertise", "", "write-endpoint URL advertised to clients (follower default: the -follow URL)")
 		barrierWait = flag.Duration("barrier-wait", service.DefaultBarrierWait, "max wait for an X-STGQ-Min-Seq read barrier before answering 412")
+		slowReq     = flag.Duration("slow-request", service.DefaultSlowRequest, "log requests slower than this with their X-STGQ-Request-ID (negative: disable)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof("stgqd", *pprofAddr)
+	}
 
 	var (
 		srv          *service.Server
@@ -173,6 +196,7 @@ func main() {
 		srv = service.New(*horizon)
 	}
 	srv.BarrierWait = *barrierWait
+	srv.SlowRequest = *slowReq
 
 	// Replication streams long-poll for up to their MaxConnected; during
 	// shutdown they must end immediately or the graceful drain would

@@ -41,13 +41,31 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/service"
 )
+
+// servePprof serves net/http/pprof on its own listener, kept off the
+// proxy mux so profiling endpoints are never exposed on the public
+// address. Errors are fatal: an operator who asked for -pprof and
+// cannot get it should find out immediately, not at incident time.
+func servePprof(prog, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("%s: pprof listening on %s\n", prog, addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatalf("%s: pprof: %v", prog, srv.ListenAndServe())
+}
 
 func main() {
 	var (
@@ -58,8 +76,14 @@ func main() {
 		probeEvery = flag.Duration("probe-every", gateway.DefaultProbeInterval, "backend /status polling interval")
 		failAfter  = flag.Duration("auto-failover", 0, "promote the most caught-up follower after the leader has been unreachable this long (0: manual failover only)")
 		drainFor   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		slowReq    = flag.Duration("slow-request", service.DefaultSlowRequest, "log proxied requests slower than this with their X-STGQ-Request-ID (negative: disable)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof("stgqgw", *pprofAddr)
+	}
 
 	gw, err := gateway.New(gateway.Config{
 		Backends:      strings.Split(*backends, ","),
@@ -67,6 +91,7 @@ func main() {
 		SessionCap:    *sessions,
 		ProbeInterval: *probeEvery,
 		AutoFailover:  *failAfter,
+		SlowRequest:   *slowReq,
 	})
 	if err != nil {
 		log.Fatalf("stgqgw: %v (use -backends url,url,...)", err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/socialgraph"
@@ -28,8 +29,11 @@ func SGSelect(rg *socialgraph.RadiusGraph, p, k int, restrict *bitset.Set, opt O
 	e := newEngine(rg, p, k, opt)
 	e.reset(restrict)
 	if e.vsCount+e.vaCount >= p {
+		searchStart := time.Now()
 		e.expand(0)
+		mSearchSeconds.ObserveSince(searchStart)
 	}
+	defer recordStats("sg", e.stats)
 	if e.bestSet.Count() != p {
 		if e.budgetHit {
 			return nil, e.stats, ErrBudgetExceeded

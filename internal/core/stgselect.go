@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/schedule"
@@ -40,6 +41,16 @@ func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []in
 	e.tmp = t
 	e.initTemporalRHS(m)
 
+	// Candidate generation (prepPivot) vs. search time is the split the
+	// paper's evaluation reports; accumulate both across pivots and
+	// record once at return.
+	var candidateTime, searchTime time.Duration
+	defer func() {
+		mCandidateSeconds.Observe(candidateTime.Seconds())
+		mSearchSeconds.Observe(searchTime.Seconds())
+		recordStats("stg", e.stats)
+	}()
+
 	eligible := bitset.New(n)
 	for _, pivot := range cal.PivotSlots(m) {
 		if e.budgetHit {
@@ -47,7 +58,10 @@ func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []in
 		}
 		w := cal.NewWindow(pivot, m)
 		t.win = w
-		if !prepPivot(e, cal, calUser, eligible, w) {
+		prepStart := time.Now()
+		ok := prepPivot(e, cal, calUser, eligible, w)
+		candidateTime += time.Since(prepStart)
+		if !ok {
 			e.stats.PivotsSkipped++
 			continue
 		}
@@ -64,7 +78,9 @@ func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []in
 		}
 		e.reset(eligible)
 		if e.vsCount+e.vaCount >= p {
+			searchStart := time.Now()
 			e.expand(0)
+			searchTime += time.Since(searchStart)
 		}
 	}
 

@@ -99,6 +99,9 @@ type BackendStatus struct {
 	Pending int64 `json:"pending"`
 	// Served counts proxied requests completed over the backend's lifetime.
 	Served uint64 `json:"served"`
+	// LatencyP99Seconds is the estimated 99th-percentile proxied
+	// round-trip latency against this backend (0 before any traffic).
+	LatencyP99Seconds float64 `json:"latencyP99Seconds"`
 	// Error is the last probe or proxy failure ("" when healthy).
 	Error string `json:"error,omitempty"`
 	// ProbedAt is the RFC 3339 time of the last completed probe.

@@ -127,6 +127,10 @@ func TestGatewayAutoFailover(t *testing.T) {
 		resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
 			map[string]any{"name": "w"}, nil)
 		if resp.StatusCode == http.StatusOK {
+			if resp.Header.Get(service.RequestIDHeader) == "" {
+				t.Fatalf("acked mutation carries no %s (gateway must generate one)",
+					service.RequestIDHeader)
+			}
 			acked++
 			return true
 		}

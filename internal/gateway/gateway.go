@@ -78,6 +78,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/service"
 )
 
 // Config describes the cluster the gateway fronts.
@@ -110,6 +113,12 @@ type Config struct {
 	// Client issues the proxied requests; a default client without a
 	// global timeout (replication streams long-poll) when nil.
 	Client *http.Client
+	// SlowRequest is the slow-request log threshold: any proxied request
+	// (the replication stream excluded) slower than it logs one line
+	// carrying the X-STGQ-Request-ID the gateway stamped, matching the
+	// backend's line for the same request. Zero means
+	// service.DefaultSlowRequest; negative disables the log.
+	SlowRequest time.Duration
 }
 
 // Gateway is the reverse proxy. Create with New, start the prober with
@@ -120,6 +129,7 @@ type Gateway struct {
 	maxLag       float64 // seconds; < 0 = unbounded
 	probeEvery   time.Duration
 	probeTimeout time.Duration
+	slowRequest  time.Duration
 	client       *http.Client
 	probeClient  *http.Client
 
@@ -167,9 +177,13 @@ func New(cfg Config) (*Gateway, error) {
 		maxLag:       cfg.MaxLag.Seconds(),
 		probeEvery:   cfg.ProbeInterval,
 		probeTimeout: cfg.ProbeTimeout,
+		slowRequest:  cfg.SlowRequest,
 		autoFailover: cfg.AutoFailover,
 		client:       cfg.Client,
 		drainCh:      make(chan struct{}),
+	}
+	if g.slowRequest == 0 {
+		g.slowRequest = service.DefaultSlowRequest
 	}
 	if g.maxLag <= 0 {
 		g.maxLag = -1
@@ -224,19 +238,40 @@ const MaxLagHeader = "X-STGQ-Max-Lag-Seconds"
 // routing with.
 const BackendHeader = "X-STGQ-Backend"
 
-// ServeHTTP implements http.Handler: the director.
+// ServeHTTP implements http.Handler: the director. Every proxied
+// request is stamped with an X-STGQ-Request-ID (generated here unless
+// the client supplied one) that travels upstream and back, so one slow
+// request can be traced gateway → backend by a single id.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(r.URL.Path, "/gateway/"):
 		g.serveOwn(w, r)
+	case r.URL.Path == "/metrics" && (r.Method == http.MethodGet || r.Method == http.MethodHead):
+		// The gateway's own metrics, not a proxied backend's: the two
+		// views disagree by design (routing tiers vs. journal internals).
+		obsv.Handler(obsv.Default).ServeHTTP(w, r)
 	case r.URL.Path == "/replication/stream":
 		// Followers (or a chained gateway) may sync through the front
-		// door; the stream long-polls, so it is proxied unbuffered.
+		// door; the stream long-polls, so it is proxied unbuffered —
+		// and untimed: a long-poll held open for its lifetime is not a
+		// slow request.
 		g.forwardStream(w, r)
 	case isRead(r):
+		reqID := ensureRequestID(r)
+		if reqID != "" {
+			w.Header().Set(service.RequestIDHeader, reqID)
+		}
+		start := time.Now()
 		g.forwardRead(w, r)
+		g.observeRequest("read", r, reqID, start)
 	default:
+		reqID := ensureRequestID(r)
+		if reqID != "" {
+			w.Header().Set(service.RequestIDHeader, reqID)
+		}
+		start := time.Now()
 		g.forwardMutation(w, r)
+		g.observeRequest("mutation", r, reqID, start)
 	}
 }
 
@@ -311,24 +346,34 @@ func (g *Gateway) backendFor(url string) *Backend {
 // tier: their state is an orphaned timeline from before a failover, and
 // the watermark clock (truncated to the new history) would report them
 // as caught up.
-func (g *Gateway) pickRead(bound float64, minSeq uint64, exclude *Backend) *Backend {
+//
+// The second return value names the winning tier ("follower",
+// "barrier", "leader", "degraded", or "none"), counted in the
+// stgq_gateway_route_total metric.
+func (g *Gateway) pickRead(bound float64, minSeq uint64, exclude *Backend) (*Backend, string) {
+	b, tier := g.pickReadTiered(bound, minSeq, exclude)
+	mRoute.With(tier).Inc()
+	return b, tier
+}
+
+func (g *Gateway) pickReadTiered(bound float64, minSeq uint64, exclude *Backend) (*Backend, string) {
 	leaderURL := g.leaderURL()
 	g.mu.Lock()
 	floor := g.maxEpoch
 	g.mu.Unlock()
 	if b := g.pickFollower(bound, minSeq, floor, exclude, leaderURL, false); b != nil {
-		return b
+		return b, "follower"
 	}
 	if minSeq > 0 {
 		if b := g.pickFollower(bound, 0, floor, exclude, leaderURL, true); b != nil {
-			return b
+			return b, "barrier"
 		}
 	}
 	if lb := g.backendFor(leaderURL); lb != nil && lb != exclude && lb.health().Healthy {
-		return lb
+		return lb, "leader"
 	}
 	if bound >= 0 || minSeq > 0 {
-		return nil
+		return nil, "none"
 	}
 	var best *Backend
 	var bestPending int64
@@ -344,7 +389,10 @@ func (g *Gateway) pickRead(bound float64, minSeq uint64, exclude *Backend) *Back
 			best, bestPending = b, p
 		}
 	}
-	return best
+	if best == nil {
+		return nil, "none"
+	}
+	return best, "degraded"
 }
 
 // pickFollower scans the healthy, unfenced followers within the
@@ -436,15 +484,16 @@ func (g *Gateway) Status() StatusResponse {
 	for _, b := range g.backends {
 		h := b.health()
 		bs := BackendStatus{
-			URL:              b.URL,
-			Role:             h.Role,
-			Healthy:          h.Healthy,
-			StalenessSeconds: -1,
-			Epoch:            h.Epoch,
-			DurableSeq:       h.DurableSeq,
-			Pending:          b.pending.Load(),
-			Served:           b.served.Load(),
-			Error:            h.Err,
+			URL:               b.URL,
+			Role:              h.Role,
+			Healthy:           h.Healthy,
+			StalenessSeconds:  -1,
+			Epoch:             h.Epoch,
+			DurableSeq:        h.DurableSeq,
+			Pending:           b.pending.Load(),
+			Served:            b.served.Load(),
+			LatencyP99Seconds: mBackendSeconds.With(b.URL).Quantile(0.99),
+			Error:             h.Err,
 		}
 		if h.Probed {
 			bs.ProbedAt = h.At.UTC().Format(time.RFC3339Nano)

@@ -14,6 +14,7 @@ import (
 	stgq "repro"
 	"repro/internal/gateway"
 	"repro/internal/journal"
+	"repro/internal/obsv"
 	"repro/internal/replica"
 	"repro/internal/service"
 )
@@ -671,7 +672,19 @@ func BenchmarkGatewayProxyOverhead(b *testing.B) {
 		}
 	}
 	b.Run("direct", func(b *testing.B) { run(b, backend.URL) })
-	b.Run("proxied", func(b *testing.B) { run(b, gts.URL) })
+	b.Run("proxied", func(b *testing.B) {
+		run(b, gts.URL)
+		b.StopTimer()
+		// With STGQ_BENCH_OUT set (make bench / bench-smoke), leave the
+		// run's numbers plus the gateway histogram snapshot on disk as
+		// BENCH_gateway.json for the benchcheck validator and CI artifact.
+		nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if path, err := obsv.EmitBench("gateway", "BenchmarkGatewayProxyOverhead/proxied", nsPerOp, "stgq_gateway_"); err != nil {
+			b.Fatalf("emit bench report: %v", err)
+		} else if path != "" {
+			b.Logf("wrote %s", path)
+		}
+	})
 }
 
 // TestGatewayClearsDeadLeader is the dead-leader routing regression test:

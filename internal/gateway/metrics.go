@@ -1,0 +1,66 @@
+package gateway
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/service"
+)
+
+// Gateway metrics answer the routing questions /gateway/status can only
+// sample: where reads actually went (by selection tier), what each
+// backend's proxied latency looks like, and how often the failure paths
+// (read retries, barrier misses, failovers) fire.
+var (
+	mRoute = obsv.NewCounterVec("stgq_gateway_route_total",
+		"Read routing decisions by selection tier (follower, barrier, leader, degraded, none).", "tier")
+	mBackendSeconds = obsv.NewHistogramVec("stgq_gateway_backend_seconds",
+		"Proxied round-trip latency by backend URL.", "backend", nil)
+	mReadRetries = obsv.NewCounter("stgq_gateway_read_retries_total",
+		"Reads retried on a second backend after the first died mid-request.")
+	mFailovers = obsv.NewCounter("stgq_gateway_failovers_total",
+		"Promotions this gateway has driven (auto-failover).")
+	mRYWReads = obsv.NewCounter("stgq_gateway_ryw_reads_total",
+		"Reads that carried a read-your-writes floor.")
+	mRYWLeaderRetries = obsv.NewCounter("stgq_gateway_ryw_leader_retries_total",
+		"Barrier misses (follower 412) retried on the leader.")
+	mFloorSource = obsv.NewCounterVec("stgq_gateway_floor_source_total",
+		"Where a read's read-your-writes floor came from (header, session).", "source")
+	mGatewaySeconds = obsv.NewHistogramVec("stgq_gateway_request_seconds",
+		"Gateway request latency by traffic class (read, mutation).", "class", nil)
+)
+
+// ensureRequestID returns r's X-STGQ-Request-ID, generating one when the
+// client sent none. The id is set on r.Header, so outbound proxying
+// copies it upstream and backends echo + log the same id.
+func ensureRequestID(r *http.Request) string {
+	id := r.Header.Get(service.RequestIDHeader)
+	if id == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			id = hex.EncodeToString(b[:])
+			r.Header.Set(service.RequestIDHeader, id)
+		}
+	}
+	return id
+}
+
+// observeRequest records one proxied request's gateway-level latency and
+// emits the threshold-gated slow-request log line (the gateway half of
+// the request trace; the backend logs the same id).
+func (g *Gateway) observeRequest(class string, r *http.Request, reqID string, start time.Time) {
+	d := time.Since(start)
+	mGatewaySeconds.With(class).Observe(d.Seconds())
+	if g.slowRequest > 0 && d >= g.slowRequest {
+		id := reqID
+		if id == "" {
+			id = "-"
+		}
+		log.Printf("stgqgw: slow request method=%s path=%s duration=%s request_id=%s",
+			r.Method, r.URL.Path, d, id)
+	}
+}

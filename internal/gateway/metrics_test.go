@@ -1,0 +1,168 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/journal"
+	"repro/internal/service"
+)
+
+// scrapeMetric fetches url/metrics and returns the value of the exactly
+// named series (0 when the series has not been created yet).
+func scrapeMetric(t *testing.T, url, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("series %s: bad value %q", series, m[1])
+	}
+	return v
+}
+
+// TestGatewayRouteMetricsParallel hammers the read path concurrently
+// (exercising the metric increments under -race) and asserts the routing
+// counter and the per-backend p99 both advanced by exactly the traffic
+// this test generated.
+func TestGatewayRouteMetricsParallel(t *testing.T) {
+	reply := func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"members":[{"id":0,"distance":0}],"totalDistance":0}`)
+	}
+	leader := fakeBackend(t,
+		service.StatusResponse{Role: "leader", Healthy: true, DurableSeq: 5, Epoch: 1}, reply)
+	follower := fakeBackend(t,
+		service.StatusResponse{Role: "follower", Healthy: true, DurableSeq: 5, Epoch: 1}, reply)
+
+	gw, err := gateway.New(gateway.Config{Backends: []string{leader.URL, follower.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.ProbeOnce(context.Background())
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	const n = 32
+	before := scrapeMetric(t, gts.URL, `stgq_gateway_route_total{tier="follower"}`)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/group",
+				map[string]any{"initiator": 0, "p": 2, "s": 1, "k": 1}, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("proxied read: status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := scrapeMetric(t, gts.URL, `stgq_gateway_route_total{tier="follower"}`)
+	if got := after - before; got != n {
+		t.Errorf("route_total{tier=follower} advanced by %v, want %d", got, n)
+	}
+
+	// The follower served every read, so its status entry must now carry
+	// a positive p99 latency estimate.
+	for _, b := range gw.Status().Backends {
+		if b.URL != follower.URL {
+			continue
+		}
+		if b.LatencyP99Seconds <= 0 {
+			t.Errorf("follower latencyP99Seconds = %v after %d proxied reads", b.LatencyP99Seconds, n)
+		}
+	}
+}
+
+// TestRequestIDPropagationAndSlowLogs runs a real service.Server behind
+// the gateway: the gateway generates an X-STGQ-Request-ID, the backend
+// echoes it, and with slow thresholds forced to 1ns both layers log a
+// slow-request line naming the same id.
+func TestRequestIDPropagationAndSlowLogs(t *testing.T) {
+	st, err := journal.Open(t.TempDir(), journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := service.NewWithStore(st)
+	backend.SlowRequest = time.Nanosecond
+	bts := httptest.NewServer(backend)
+	t.Cleanup(func() {
+		st.Close()
+		bts.Close()
+	})
+
+	_, gts := startGateway(t, gateway.Config{
+		Backends:    []string{bts.URL},
+		SlowRequest: time.Nanosecond,
+	})
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	prev := log.Writer()
+	log.SetOutput(&lockedWriter{w: &buf, mu: &mu})
+	defer log.SetOutput(prev)
+
+	resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/people",
+		map[string]any{"name": "alice"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation via gateway: status %d (%s)", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get(service.RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(reqID) {
+		t.Fatalf("gateway-generated request id %q, want 16 hex chars", reqID)
+	}
+
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	for _, want := range []string{
+		"stgqgw: slow request",
+		"stgq: slow request",
+	} {
+		if !regexp.MustCompile(regexp.QuoteMeta(want) + `.*request_id=` + reqID).MatchString(logged) {
+			t.Errorf("missing %q line with request_id=%s in:\n%s", want, reqID, logged)
+		}
+	}
+}
+
+// lockedWriter serializes concurrent log writes during capture.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

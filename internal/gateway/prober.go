@@ -235,6 +235,7 @@ func (g *Gateway) noteFailover(msg string, promoted bool) {
 	defer g.mu.Unlock()
 	if promoted {
 		g.failovers++
+		mFailovers.Inc()
 	}
 	g.lastFailover = msg
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/service"
 )
@@ -54,6 +55,7 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 	}
 	if minSeq > 0 {
 		g.rywReads.Add(1)
+		mRYWReads.Inc()
 		// The floor travels to the backend as a read barrier even when
 		// the probe view says the pick is caught up: the probed position
 		// is an old observation, and a follower can regress between
@@ -62,7 +64,7 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 		// cheap.
 		r.Header.Set(MinSeqHeader, strconv.FormatUint(minSeq, 10))
 	}
-	b := g.pickRead(bound, minSeq, nil)
+	b, _ := g.pickRead(bound, minSeq, nil)
 	if b == nil {
 		writeError(w, http.StatusServiceUnavailable, "gateway: no healthy backend for reads")
 		return
@@ -81,7 +83,8 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b.markDown(err)
-	if b2 := g.pickRead(bound, minSeq, b); b2 != nil {
+	mReadRetries.Inc()
+	if b2, _ := g.pickRead(bound, minSeq, b); b2 != nil {
 		if p2, err2 := g.doVia(r, b2, body); err2 == nil {
 			g.relayRead(w, r, p2, b2, minSeq, body)
 			return
@@ -114,11 +117,17 @@ func (g *Gateway) minSeqFor(w http.ResponseWriter, r *http.Request) (minSeq uint
 		}
 		minSeq = max(minSeq, n)
 	}
+	if minSeq > 0 {
+		mFloorSource.With("header").Inc()
+	}
 	r.Header.Del(WriteSeqHeader)
 	r.Header.Del(MinSeqHeader)
 	if g.sessions != nil {
 		if sid := r.Header.Get(SessionHeader); sid != "" {
-			minSeq = max(minSeq, g.sessions.get(sid))
+			if sessSeq := g.sessions.get(sid); sessSeq > 0 {
+				mFloorSource.With("session").Inc()
+				minSeq = max(minSeq, sessSeq)
+			}
 		}
 	}
 	return minSeq, true
@@ -135,6 +144,7 @@ func (g *Gateway) relayRead(w http.ResponseWriter, r *http.Request, p *proxied, 
 	if minSeq > 0 && p.status == http.StatusPreconditionFailed {
 		if target := g.leaderURL(); target != "" && target != b.URL {
 			g.rywLeaderRetries.Add(1)
+			mRYWLeaderRetries.Inc()
 			if p2, err := g.doTarget(r, target, body); err == nil {
 				relay(w, p2, target)
 				return
@@ -263,10 +273,13 @@ func (g *Gateway) noLeader(w http.ResponseWriter) {
 	writeError(w, http.StatusServiceUnavailable, "gateway: no healthy leader known (dead or failing over); retry shortly")
 }
 
-// doVia proxies through a pool backend, maintaining its load counters.
+// doVia proxies through a pool backend, maintaining its load counters
+// and the per-backend latency histogram.
 func (g *Gateway) doVia(r *http.Request, b *Backend, body []byte) (*proxied, error) {
 	b.pending.Add(1)
+	start := time.Now()
 	defer func() {
+		mBackendSeconds.With(b.URL).ObserveSince(start)
 		b.pending.Add(-1)
 		b.served.Add(1)
 	}()
@@ -334,6 +347,11 @@ func outbound(r *http.Request, target string, body []byte) (*http.Request, error
 
 // relay writes a buffered upstream response to the client.
 func relay(w http.ResponseWriter, p *proxied, backendURL string) {
+	if p.header.Get(service.RequestIDHeader) != "" {
+		// The backend echoed the request id the gateway already stamped
+		// on the response; keep the upstream copy, not both.
+		w.Header().Del(service.RequestIDHeader)
+	}
 	copyHeader(w.Header(), p.header)
 	w.Header().Set(BackendHeader, backendURL)
 	w.WriteHeader(p.status)

@@ -54,6 +54,10 @@ func TestGatewayReadYourWrites(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("add %s: status %d: %s", name, resp.StatusCode, body)
 		}
+		if rid := resp.Header.Get(service.RequestIDHeader); rid == "" {
+			t.Fatalf("add %s: mutation response carries no %s (gateway must generate one)",
+				name, service.RequestIDHeader)
+		}
 		var r service.AddPersonResponse
 		if err := json.Unmarshal(body, &r); err != nil {
 			t.Fatal(err)
@@ -80,6 +84,9 @@ func TestGatewayReadYourWrites(t *testing.T) {
 		t.Helper()
 		resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/group",
 			map[string]any{"initiator": id, "p": 4, "s": 1, "k": 1}, hdr)
+		if rid := resp.Header.Get(service.RequestIDHeader); rid == "" {
+			t.Fatalf("read response carries no %s (gateway must generate one)", service.RequestIDHeader)
+		}
 		var g service.GroupResponse
 		if resp.StatusCode == http.StatusOK {
 			if err := json.Unmarshal(body, &g); err != nil {

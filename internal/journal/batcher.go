@@ -33,6 +33,7 @@ type Batcher struct {
 type batchItem struct {
 	rec Record
 	ack chan error
+	at  time.Time // enqueue time, for the enqueue/ack latency split
 }
 
 const (
@@ -79,7 +80,7 @@ func NewBatcher(app Appender, maxBatch int, maxWait time.Duration) *Batcher {
 // under the planner write lock, queries too — slow to journal speed
 // rather than letting unacknowledged records pile up without bound.
 func (b *Batcher) Enqueue(rec Record) <-chan error {
-	it := batchItem{rec: rec, ack: make(chan error, 1)}
+	it := batchItem{rec: rec, ack: make(chan error, 1), at: time.Now()}
 	b.closeMu.RLock()
 	if b.closed {
 		it.ack <- ErrClosed
@@ -154,17 +155,22 @@ func (b *Batcher) loop() {
 		if len(batch) == 0 {
 			return nil
 		}
+		start := time.Now()
 		recs := make([]Record, len(batch))
 		for i, it := range batch {
 			recs[i] = it.rec
+			mAppendEnqueue.Observe(start.Sub(it.at).Seconds())
 		}
 		err := b.app.Append(recs)
+		mAppendFsync.ObserveSince(start)
+		mBatchRecords.Observe(float64(len(recs)))
 		if err == nil {
 			b.durable.Store(recs[len(recs)-1].Seq)
 			b.batches.Add(1)
 			b.records.Add(uint64(len(recs)))
 		}
 		for _, it := range batch {
+			mAppendAck.Observe(time.Since(it.at).Seconds())
 			it.ack <- err
 		}
 		reset()

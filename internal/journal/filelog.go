@@ -186,6 +186,7 @@ func (l *FileLog) Append(recs []Record) error {
 		return l.failed
 	}
 	l.syncs++
+	mFsyncs.Inc()
 	l.batches++
 	l.records += uint64(len(recs))
 	l.activeSize += int64(len(buf))

@@ -1,0 +1,27 @@
+package journal
+
+import "repro/internal/obsv"
+
+// The journal's metrics decompose the write path the way an operator
+// debugs it: how long records queue for company (enqueue), how long the
+// physical write+fsync takes, and what the caller actually waits end to
+// end (ack). Registered on obsv.Default at init; exposed via GET
+// /metrics and summarized in GET /status.
+var (
+	mAppendEnqueue = obsv.NewHistogram("stgq_journal_append_enqueue_seconds",
+		"Time a record spends queued before its group commit starts.", nil)
+	mAppendFsync = obsv.NewHistogram("stgq_journal_append_fsync_seconds",
+		"Duration of the batch write+fsync (one per group commit).", nil)
+	mAppendAck = obsv.NewHistogram("stgq_journal_append_ack_seconds",
+		"End-to-end latency from enqueue to durable acknowledgement.", nil)
+	mBatchRecords = obsv.NewHistogram("stgq_journal_batch_records",
+		"Records per group-commit batch.", obsv.SizeBuckets)
+	mFsyncs = obsv.NewCounter("stgq_journal_fsync_total",
+		"Physical fsyncs issued by the journal.")
+	mSnapshotSeconds = obsv.NewHistogram("stgq_journal_snapshot_seconds",
+		"Duration of a snapshot cycle (export + write + fsync).", nil)
+	mCompactionSeconds = obsv.NewHistogram("stgq_journal_compaction_seconds",
+		"Duration of segment rotation + compaction after a snapshot.", nil)
+	mSnapshots = obsv.NewCounter("stgq_journal_snapshots_total",
+		"Completed snapshot cycles.")
+)

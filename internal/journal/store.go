@@ -483,6 +483,7 @@ func (s *Store) snapshotLocked() error {
 		s.sinceSnap.Store(0)
 		return nil
 	}
+	snapStart := time.Now()
 	var seq, rejected uint64
 	ds := s.pl.Export(func() {
 		seq = s.seq.Load()
@@ -522,16 +523,20 @@ func (s *Store) snapshotLocked() error {
 	if err := writeSnapshot(s.dir, seq, ds); err != nil {
 		return err
 	}
+	mSnapshotSeconds.ObserveSince(snapStart)
+	mSnapshots.Inc()
 	s.snapshots.Add(1)
 	s.lastSnap.Store(seq)
 	// Seal the active segment so future compactions can retire it, then
 	// drop every sealed segment fully covered by this snapshot.
+	compactStart := time.Now()
 	if err := s.log.Rotate(); err != nil {
 		return err
 	}
 	if _, err := s.log.Compact(seq); err != nil {
 		return err
 	}
+	mCompactionSeconds.ObserveSince(compactStart)
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package obsv
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+)
+
+// formatFloat renders a float64 the way Prometheus text exposition
+// expects: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), in registration order with
+// # HELP / # TYPE headers.
+func (r *Registry) WritePrometheus(w *bufio.Writer) {
+	header := func(name, typ, help string) {
+		if help != "" {
+			w.WriteString("# HELP " + name + " " + help + "\n")
+		}
+		w.WriteString("# TYPE " + name + " " + typ + "\n")
+	}
+	line := func(s string) {
+		w.WriteString(s)
+		w.WriteByte('\n')
+	}
+	for _, m := range r.metrics() {
+		m.prom(line, header)
+	}
+}
+
+// Handler returns an http.Handler serving r in Prometheus text format —
+// the body behind GET /metrics on both daemons.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		r.WritePrometheus(bw)
+		bw.Flush()
+	})
+}

@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterVec is a family of counters partitioned by one label; children
+// are created on first use and live for the life of the process. The
+// label cardinality is expected to be small and bounded (status
+// classes, routing tiers, backend addresses).
+type CounterVec struct {
+	nm, hp, label string
+	mu            sync.Mutex
+	children      map[string]*Counter // label value -> child
+	order         []string
+}
+
+// NewCounterVec registers a one-label counter family on Default.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.NewCounterVec(name, help, label)
+}
+
+// NewCounterVec registers a one-label counter family on r.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, hp: help, label: label, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{nm: v.nm}
+		v.children[value] = c
+		v.order = append(v.order, value)
+	}
+	return c
+}
+
+// each visits children in creation order under the vec lock.
+func (v *CounterVec) each(fn func(value string, c *Counter)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, val := range v.order {
+		fn(val, v.children[val])
+	}
+}
+
+func (v *CounterVec) name() string { return v.nm }
+
+func (v *CounterVec) snap(into map[string]Snapshot) {
+	v.each(func(value string, c *Counter) {
+		into[fmt.Sprintf("%s{%s=%q}", v.nm, v.label, value)] =
+			Snapshot{Type: "counter", Value: float64(c.Value())}
+	})
+}
+
+func (v *CounterVec) prom(line func(string), header func(name, typ, help string)) {
+	header(v.nm, "counter", v.hp)
+	v.each(func(value string, c *Counter) {
+		line(fmt.Sprintf("%s{%s=%q} %d", v.nm, v.label, value, c.Value()))
+	})
+}
+
+// HistogramVec is a family of histograms partitioned by one label.
+type HistogramVec struct {
+	nm, hp, label string
+	bounds        []float64
+	mu            sync.Mutex
+	children      map[string]*Histogram
+	order         []string
+}
+
+// NewHistogramVec registers a one-label histogram family on Default.
+// bounds follows the NewHistogram convention (nil = LatencyBuckets).
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return Default.NewHistogramVec(name, help, label, bounds)
+}
+
+// NewHistogramVec registers a one-label histogram family on r.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	v := &HistogramVec{
+		nm: name, hp: help, label: label,
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*Histogram),
+	}
+	r.register(v)
+	return v
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = &Histogram{
+			nm:     v.nm,
+			bounds: v.bounds,
+			counts: make([]atomic.Uint64, len(v.bounds)+1),
+		}
+		v.children[value] = h
+		v.order = append(v.order, value)
+	}
+	return h
+}
+
+// each visits children in creation order under the vec lock.
+func (v *HistogramVec) each(fn func(value string, h *Histogram)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, val := range v.order {
+		fn(val, v.children[val])
+	}
+}
+
+func (v *HistogramVec) name() string { return v.nm }
+
+func (v *HistogramVec) snap(into map[string]Snapshot) {
+	v.each(func(value string, h *Histogram) {
+		into[fmt.Sprintf("%s{%s=%q}", v.nm, v.label, value)] = h.snapshot()
+	})
+}
+
+func (v *HistogramVec) prom(line func(string), header func(name, typ, help string)) {
+	header(v.nm, "histogram", v.hp)
+	v.each(func(value string, h *Histogram) {
+		h.promSeries(line, fmt.Sprintf("%s=%q", v.label, value))
+	})
+}

@@ -315,6 +315,7 @@ func (f *Follower) Run(ctx context.Context) {
 		}
 		f.lastErr.Store(err.Error())
 		f.reconnects.Add(1)
+		mReconnects.Inc()
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -425,6 +426,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 	}
 	switch hdr.Kind {
 	case kindSnapshot:
+		mFramesIn.With("snapshot").Inc()
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
 			return fmt.Errorf("replica: snapshot frame: %w", err)
@@ -438,6 +440,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		}
 		f.forceBootstrap.Store(false)
 		f.bootstraps.Add(1)
+		mBootstraps.Inc()
 		f.noteLeaderSeq(hdr.Seq)
 		return nil // reconnect immediately; the next stream sends the tail
 	case kindRecords:
@@ -476,6 +479,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 			f.touch()
 			switch msg.Kind {
 			case kindHeartbeat:
+				mFramesIn.With("heartbeat").Inc()
 				// A mid-stream epoch change means the upstream identity
 				// changed under a stable URL (a gateway re-routed the
 				// stream across a failover): abandon the stream and let
@@ -485,10 +489,12 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 				}
 				f.noteLeaderSeq(msg.Seq)
 			case kindRecord:
+				mFramesIn.With("record").Inc()
 				if err := f.applyWire(msg); err != nil {
 					return err
 				}
 			case kindError:
+				mFramesIn.With("error").Inc()
 				return fmt.Errorf("replica: leader: %s", msg.Err)
 			default:
 				return fmt.Errorf("replica: unexpected frame kind %q", msg.Kind)
@@ -537,6 +543,7 @@ func (f *Follower) applyWire(msg wireMsg) error {
 	if msg.Seq != applied+1 {
 		return fmt.Errorf("replica: sequence gap: applied %d, leader sent %d", applied, msg.Seq)
 	}
+	applyStart := time.Now()
 	if err := journal.Apply(st.Planner(), fromWire(msg)); err != nil {
 		// Divergence from the leader's history (or a local journal
 		// failure mid-apply): the local state can no longer be trusted
@@ -548,6 +555,7 @@ func (f *Follower) applyWire(msg wireMsg) error {
 		f.forceBootstrap.Store(true)
 		return fmt.Errorf("replica: local store assigned seq %d for leader record %d", got, msg.Seq)
 	}
+	mApplySeconds.ObserveSince(applyStart)
 	f.applied.Store(msg.Seq)
 	f.appliedCh.Broadcast()
 	f.noteLeaderSeq(msg.Seq)
@@ -596,6 +604,7 @@ func (f *Follower) noteLeaderSeq(seq uint64) {
 	for {
 		cur := f.leaderSeq.Load()
 		if seq <= cur || f.leaderSeq.CompareAndSwap(cur, seq) {
+			noteLag(f.leaderSeq.Load(), f.applied.Load())
 			return
 		}
 	}

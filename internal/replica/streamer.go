@@ -104,6 +104,7 @@ func (st *Streamer) serveSnapshot(w http.ResponseWriter) {
 	if err := enc.Encode(wireMsg{Kind: kindSnapshot, Seq: seq, Epoch: st.Store.Epoch(), Fork: st.Store.EpochStart()}); err != nil {
 		return
 	}
+	mFramesOut.Inc()
 	// The snapshot file is itself one newline-terminated JSON document —
 	// exactly one ndjson frame.
 	_, _ = io.Copy(w, rc)
@@ -128,7 +129,13 @@ func (st *Streamer) serveRecords(w http.ResponseWriter, r *http.Request, after u
 		}
 	}
 	enc := json.NewEncoder(w)
-	send := func(m wireMsg) bool { return enc.Encode(m) == nil }
+	send := func(m wireMsg) bool {
+		if enc.Encode(m) != nil {
+			return false
+		}
+		mFramesOut.Inc()
+		return true
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	epoch := st.Store.Epoch()

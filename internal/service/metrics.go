@@ -1,0 +1,163 @@
+package service
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// RequestIDHeader carries the per-request trace id. The cluster gateway
+// generates it on ingress (or preserves a client-supplied one); backends
+// echo it on every response and stamp it into their slow-request log
+// lines, so one slow query can be traced gateway → backend by grepping
+// a single id.
+const RequestIDHeader = "X-STGQ-Request-ID"
+
+// DefaultSlowRequest is the slow-request log threshold when
+// Server.SlowRequest is zero.
+const DefaultSlowRequest = time.Second
+
+// Per-endpoint request metrics plus the read-barrier split. The
+// endpoint label is the routing pattern ("POST /query/group"), not the
+// raw URL, so cardinality is fixed.
+var (
+	mRequestSeconds = obsv.NewHistogramVec("stgq_service_request_seconds",
+		"Request latency by endpoint pattern.", "endpoint", nil)
+	mResponses = obsv.NewCounterVec("stgq_service_responses_total",
+		"Responses by status class (2xx/3xx/4xx/5xx).", "class")
+	mBarrierWait = obsv.NewHistogram("stgq_service_barrier_wait_seconds",
+		"Time queries spend waiting on an X-STGQ-Min-Seq read barrier.", nil)
+	mBarrier412 = obsv.NewCounter("stgq_service_barrier_412_total",
+		"Read barriers that ran out the bounded wait and answered 412.")
+)
+
+// statusWriter captures the response status for metrics/logging. It
+// passes Flush through (the replication stream depends on it) and
+// exposes Unwrap for http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the first status code written.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts an implicit 200 when the handler never called WriteHeader.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Status returns the response code (200 when the handler never set one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// codeClass buckets a status code into its Prometheus label.
+func codeClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// handle registers pattern with per-request instrumentation: latency by
+// endpoint, status-class counting, request-id echo, and the
+// threshold-gated slow-request log line. The replication stream is
+// registered raw (see routes) — a long-poll held open for its lifetime
+// is not a slow request.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID != "" {
+			w.Header().Set(RequestIDHeader, reqID)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d := time.Since(start)
+		mRequestSeconds.With(pattern).Observe(d.Seconds())
+		mResponses.With(codeClass(sw.Status())).Inc()
+		if slow := s.slowThreshold(); slow > 0 && d >= slow {
+			log.Printf("stgq: slow request endpoint=%q status=%d duration=%s request_id=%s",
+				pattern, sw.Status(), d, requestIDOrDash(reqID))
+		}
+	})
+}
+
+func (s *Server) slowThreshold() time.Duration {
+	if s.SlowRequest != 0 {
+		return s.SlowRequest
+	}
+	return DefaultSlowRequest
+}
+
+// ServiceMetrics summarizes the write-path metrics /status surfaces
+// alongside the full journal.Stats: the group-commit shape at a glance
+// without scraping /metrics.
+type ServiceMetrics struct {
+	// AppendAckP50Seconds and AppendAckP99Seconds are the estimated
+	// median / 99th-percentile end-to-end append acknowledgement latency.
+	AppendAckP50Seconds float64 `json:"appendAckP50Seconds"`
+	// AppendAckP99Seconds is the 99th-percentile append ack latency (see
+	// AppendAckP50Seconds).
+	AppendAckP99Seconds float64 `json:"appendAckP99Seconds"`
+	// FsyncTotal counts physical fsyncs issued by the journal since
+	// process start (all stores in-process).
+	FsyncTotal uint64 `json:"fsyncTotal"`
+	// BatchP50Records is the estimated median group-commit batch size.
+	BatchP50Records float64 `json:"batchP50Records"`
+}
+
+// serviceMetrics reads the journal metric snapshot for /status.
+func serviceMetrics() *ServiceMetrics {
+	snap := obsv.TakeSnapshot("stgq_journal_")
+	m := &ServiceMetrics{}
+	if s, ok := snap["stgq_journal_append_ack_seconds"]; ok {
+		m.AppendAckP50Seconds = s.P50
+		m.AppendAckP99Seconds = s.P99
+	}
+	if s, ok := snap["stgq_journal_fsync_total"]; ok {
+		m.FsyncTotal = uint64(s.Value)
+	}
+	if s, ok := snap["stgq_journal_batch_records"]; ok {
+		m.BatchP50Records = s.P50
+	}
+	return m
+}
+
+// requestIDOrDash renders a request id for log lines ("-" when absent).
+func requestIDOrDash(id string) string {
+	if id == "" {
+		return "-"
+	}
+	return id
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestMetricsEndpoint: GET /metrics serves the Prometheus text format and
+// covers the request and write-path series after real traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir, journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(NewWithStore(st))
+	defer ts.Close()
+	buildFigure3(t, ts)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE stgq_service_request_seconds histogram",
+		`stgq_service_request_seconds_bucket{endpoint="POST /people"`,
+		`stgq_service_responses_total{class="2xx"}`,
+		"# TYPE stgq_journal_append_ack_seconds histogram",
+		"stgq_journal_fsync_total",
+		"stgq_journal_batch_records_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestStatusIncludesJournalMetrics: a durable server's /status carries the
+// fsync and batch counters next to the journal stats.
+func TestStatusIncludesJournalMetrics(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir, journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(NewWithStore(st))
+	defer ts.Close()
+	buildFigure3(t, ts)
+
+	var status StatusResponse
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Metrics == nil {
+		t.Fatal("durable /status must include the metrics summary")
+	}
+	// Counters are process-global, so only lower bounds are assertable —
+	// but this test's own mutations guarantee they are non-zero.
+	if status.Metrics.FsyncTotal == 0 {
+		t.Error("fsyncTotal is 0 after acknowledged mutations")
+	}
+	if status.Metrics.AppendAckP99Seconds < status.Metrics.AppendAckP50Seconds {
+		t.Errorf("ack p99 %v below p50 %v", status.Metrics.AppendAckP99Seconds, status.Metrics.AppendAckP50Seconds)
+	}
+	if status.Metrics.BatchP50Records <= 0 {
+		t.Error("batchP50Records is 0 after acknowledged mutations")
+	}
+}
+
+// TestRequestIDEchoAndSlowLog: a request carrying X-STGQ-Request-ID gets
+// it echoed on the response, and a request over the slow threshold logs
+// one line naming the same id.
+func TestRequestIDEchoAndSlowLog(t *testing.T) {
+	srv := New(7)
+	srv.SlowRequest = time.Nanosecond // everything is slow
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	prev := log.Writer()
+	log.SetOutput(&syncWriter{w: &buf, mu: &mu})
+	defer log.SetOutput(prev)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "feedc0de01020304")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "feedc0de01020304" {
+		t.Fatalf("request id not echoed: got %q", got)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "slow request") || !strings.Contains(logged, "request_id=feedc0de01020304") {
+		t.Fatalf("slow-request log line missing or without the request id:\n%s", logged)
+	}
+
+	// Negative threshold disables the slow log entirely.
+	srv.SlowRequest = -1
+	mu.Lock()
+	buf.Reset()
+	mu.Unlock()
+	resp2, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	mu.Lock()
+	logged = buf.String()
+	mu.Unlock()
+	if strings.Contains(logged, "slow request") {
+		t.Fatalf("negative threshold still logged:\n%s", logged)
+	}
+}
+
+// syncWriter serializes concurrent log writes during capture.
+type syncWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -85,6 +85,8 @@ func (s *Server) awaitMinSeq(w http.ResponseWriter, r *http.Request) bool {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
+	waitStart := time.Now()
+	defer mBarrierWait.ObserveSince(waitStart)
 	var werr error
 	switch {
 	case fo != nil:
@@ -105,6 +107,7 @@ func (s *Server) awaitMinSeq(w http.ResponseWriter, r *http.Request) bool {
 	}
 	// Retry-After: the barrier is about replication lag, which a healthy
 	// cluster clears in well under a second.
+	mBarrier412.Inc()
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusPreconditionFailed, errorResponse{
 		Error: fmt.Sprintf("read barrier: state has not reached seq %d: %v", seq, werr),

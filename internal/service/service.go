@@ -73,6 +73,7 @@ import (
 
 	stgq "repro"
 	"repro/internal/journal"
+	"repro/internal/obsv"
 	"repro/internal/replica"
 )
 
@@ -94,6 +95,13 @@ type Server struct {
 	// 412 (see MinSeqHeader). Zero means DefaultBarrierWait. Set it
 	// before serving; it is read without synchronization.
 	BarrierWait time.Duration
+
+	// SlowRequest is the slow-request log threshold: any request (the
+	// replication stream excluded) slower than it logs one line carrying
+	// the X-STGQ-Request-ID. Zero means DefaultSlowRequest; negative
+	// disables the log. Set it before serving; it is read without
+	// synchronization.
+	SlowRequest time.Duration
 
 	mu         sync.RWMutex
 	pl         *stgq.Planner
@@ -142,19 +150,22 @@ func NewFollower(fo *replica.Follower, leaderHint string) *Server {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /people", s.handleAddPerson)
-	s.mux.HandleFunc("POST /friendships", s.handleAddFriendship)
-	s.mux.HandleFunc("DELETE /friendships", s.handleRemoveFriendship)
-	s.mux.HandleFunc("POST /availability", s.handleAvailability)
-	s.mux.HandleFunc("POST /policies", s.handleSetPolicy)
-	s.mux.HandleFunc("POST /promote", s.handlePromote)
-	s.mux.HandleFunc("POST /query/group", s.handleGroupQuery)
-	s.mux.HandleFunc("POST /query/activity", s.handleActivityQuery)
-	s.mux.HandleFunc("POST /query/manual", s.handleManualQuery)
-	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.handle("POST /people", s.handleAddPerson)
+	s.handle("POST /friendships", s.handleAddFriendship)
+	s.handle("DELETE /friendships", s.handleRemoveFriendship)
+	s.handle("POST /availability", s.handleAvailability)
+	s.handle("POST /policies", s.handleSetPolicy)
+	s.handle("POST /promote", s.handlePromote)
+	s.handle("POST /query/group", s.handleGroupQuery)
+	s.handle("POST /query/activity", s.handleActivityQuery)
+	s.handle("POST /query/manual", s.handleManualQuery)
+	s.handle("GET /status", s.handleStatus)
+	s.mux.Handle("GET /metrics", obsv.Handler(obsv.Default))
 	// The stream endpoint is routed unconditionally and resolved per
 	// request: a follower serves no stream today, but becomes a leader —
-	// and must start serving one — the moment it is promoted.
+	// and must start serving one — the moment it is promoted. It is
+	// registered raw: a long-poll held open for its whole lifetime is
+	// neither a slow request nor a useful latency sample.
 	s.mux.HandleFunc("GET /replication/stream", s.handleStream)
 }
 
@@ -351,6 +362,9 @@ type StatusResponse struct {
 	Journal *journal.Stats `json:"journal,omitempty"`
 	// Replication carries a follower's replication progress.
 	Replication *replica.Status `json:"replication,omitempty"`
+	// Metrics summarizes the process-wide write-path metrics (append ack
+	// latency quantiles, fsync counts) on durable servers.
+	Metrics *ServiceMetrics `json:"metrics,omitempty"`
 }
 
 type errorResponse struct {
@@ -578,6 +592,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			resp.People, resp.Friendships = fpl.Counts()
 			resp.Horizon = fpl.Horizon()
 			resp.Journal = &st
+			resp.Metrics = serviceMetrics()
 			// A bootstrapping follower is about to swap its planner; a
 			// defunct one (closed, or a failed promotion sealed it with
 			// no writable store) is frozen forever. Neither may be
@@ -600,6 +615,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Epoch = store.Epoch()
 		st := store.Stats()
 		resp.Journal = &st
+		resp.Metrics = serviceMetrics()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,91 @@
+// Command benchcheck validates the benchmark reports that make bench /
+// bench-smoke leave in the repo root (BENCH_journal.json,
+// BENCH_gateway.json) before CI archives them: each file must parse as an
+// obsv.BenchReport, name its benchmark, carry a positive ns/op, and hold
+// at least one histogram metric with observations — a report whose
+// histograms are all empty means the instrumentation was disconnected
+// from the code path the benchmark exercises, which is exactly the
+// regression the smoke run exists to catch.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obsv"
+)
+
+// checkReport validates one emitted report file.
+func checkReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep obsv.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: parse: %w", path, err)
+	}
+	if rep.Benchmark == "" {
+		return fmt.Errorf("%s: missing benchmark name", path)
+	}
+	if rep.NsPerOp <= 0 {
+		return fmt.Errorf("%s: ns/op is %v, want > 0", path, rep.NsPerOp)
+	}
+	histograms, observed := 0, 0
+	for name, m := range rep.Metrics {
+		if m.Type != "histogram" {
+			continue
+		}
+		histograms++
+		if m.Count == 0 {
+			continue
+		}
+		observed++
+		// Buckets are cumulative: non-decreasing, with the final (+Inf)
+		// bucket equal to the total observation count.
+		var prev uint64
+		for _, b := range m.Buckets {
+			if b.Count < prev {
+				return fmt.Errorf("%s: metric %s: bucket le=%s count %d below previous %d",
+					path, name, b.LE, b.Count, prev)
+			}
+			prev = b.Count
+		}
+		if len(m.Buckets) == 0 || prev != m.Count {
+			return fmt.Errorf("%s: metric %s: +Inf bucket holds %d, want count %d",
+				path, name, prev, m.Count)
+		}
+	}
+	if histograms == 0 {
+		return fmt.Errorf("%s: no histogram metrics in snapshot", path)
+	}
+	if observed == 0 {
+		return fmt.Errorf("%s: all %d histograms are empty (instrumentation disconnected from the benchmarked path?)",
+			path, histograms)
+	}
+	fmt.Printf("benchcheck: %s ok (%s, %.0f ns/op, %d/%d histograms populated)\n",
+		path, rep.Benchmark, rep.NsPerOp, observed, histograms)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_*.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := checkReport(path); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
