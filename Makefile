@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check race e2e-failover e2e-ryw docs-check
+.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check bench-regress bench-rebaseline load-smoke race e2e-failover e2e-ryw docs-check
 
 # Benchmark reports (BENCH_journal.json, BENCH_gateway.json) land in the
 # repo root regardless of each test binary's working directory; the
@@ -48,6 +48,30 @@ bench-smoke:
 # ns/op, at least one populated histogram each.
 bench-check:
 	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json
+
+# A ≤30s closed-loop load run against an in-process 3-node cluster
+# (leader, two followers, gateway): cmd/stgqload drives the mixed
+# SGSelect/STGSelect/mutation/session-read workload and leaves a
+# validated BENCH_load.json — throughput, per-class p50/p99/p999, and the
+# per-stage latency attribution — in the repo root (CI archives it).
+load-smoke:
+	STGQ_BENCH_TS=$$(date -u +%Y-%m-%dT%H:%M:%SZ) $(GO) run ./cmd/stgqload \
+		-users 300 -followers 2 -duration 5s -mode closed -concurrency 8 \
+		-seed 1 -out $(CURDIR)/BENCH_load.json
+	$(GO) run ./internal/tools/benchcheck BENCH_load.json
+
+# Perf trajectory (operator-run, not CI: smoke-run ns/op is too noisy to
+# gate merges on shared runners): compare the current reports against the
+# committed baselines in bench/baseline at the default 20% tolerance.
+bench-regress:
+	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline \
+		BENCH_journal.json BENCH_gateway.json BENCH_load.json
+
+# Refresh the committed baselines from the current reports (run on the
+# reference machine after a deliberate perf change; commit the result).
+bench-rebaseline:
+	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline -update \
+		BENCH_journal.json BENCH_gateway.json BENCH_load.json
 
 # The leader-kill acceptance scenario: auto-failover promotes a follower,
 # writes resume at the new epoch with zero acknowledged loss, and the

@@ -1,0 +1,112 @@
+// Command stgqload is the production load harness: it drives a mixed
+// SGSelect/STGSelect/mutation/session-read workload against a cluster
+// gateway — or an in-process leader/followers/gateway topology it boots
+// itself — and writes BENCH_load.json with throughput, per-class
+// p50/p99/p999 latency, and the per-stage latency attribution parsed
+// from X-STGQ-Server-Timing response headers.
+//
+// Usage:
+//
+//	stgqload [-target URL] [-mode closed|open] [-duration 10s]
+//	         [-concurrency 8] [-rate 50] [-users 1000] [-followers 2]
+//	         [-days 2] [-seed 1] [-out BENCH_load.json]
+//
+// With -target "" (the default) an in-process cluster seeded with a
+// synthetic population of -users people is booted for the run — the
+// self-contained mode CI's load-smoke uses. With -target set, the
+// harness drives an existing deployment and -followers/-days are
+// ignored (-users must not exceed the deployment's population).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/obsv"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "gateway URL to drive (empty: boot an in-process cluster)")
+		mode        = flag.String("mode", "closed", "driving discipline: closed (fixed concurrency) or open (fixed arrival rate)")
+		duration    = flag.Duration("duration", 10*time.Second, "run length")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (and open-loop in-flight cap multiplier)")
+		rate        = flag.Float64("rate", 50, "open-loop arrival rate (ops/sec)")
+		users       = flag.Int("users", 1000, "population size ops draw person ids from")
+		followers   = flag.Int("followers", 2, "in-process cluster follower count (ignored with -target)")
+		days        = flag.Int("days", 2, "in-process cluster schedule horizon in days (ignored with -target)")
+		seed        = flag.Int64("seed", 1, "workload (and in-process dataset) seed")
+		out         = flag.String("out", "BENCH_load.json", "report output path")
+	)
+	flag.Parse()
+
+	if err := run(*target, *mode, *duration, *concurrency, *rate, *users, *followers, *days, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "stgqload:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the topology if needed, drives the workload and writes the
+// report.
+func run(target, mode string, duration time.Duration, concurrency int, rate float64,
+	users, followers, days int, seed int64, out string) error {
+	horizon := 0
+	if target == "" {
+		fmt.Fprintf(os.Stderr, "stgqload: booting in-process cluster (%d users, %d followers)\n",
+			users, followers)
+		topo, err := loadgen.StartTopology(loadgen.TopologyConfig{
+			Users:     users,
+			Followers: followers,
+			Seed:      seed,
+			Days:      days,
+		})
+		if err != nil {
+			return err
+		}
+		defer topo.Close()
+		target = topo.GatewayURL
+		horizon = topo.HorizonSlots
+	}
+
+	r, err := loadgen.NewRunner(loadgen.Config{
+		TargetURL:    target,
+		Mode:         mode,
+		Concurrency:  concurrency,
+		RatePerSec:   rate,
+		Duration:     duration,
+		Users:        users,
+		HorizonSlots: horizon,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stgqload: driving %s for %s against %s\n", mode, duration, target)
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	// Same timestamp override hook as obsv.EmitBench, so CI runs are
+	// reproducible byte for byte.
+	rep.Timestamp = os.Getenv(obsv.BenchTSEnv)
+	if rep.Timestamp == "" {
+		rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	fmt.Print(rep.Format())
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stgqload: wrote %s\n", out)
+	return nil
+}

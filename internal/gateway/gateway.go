@@ -261,6 +261,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if reqID != "" {
 			w.Header().Set(service.RequestIDHeader, reqID)
 		}
+		// The stage collector accumulates the gateway's own share of the
+		// request (gw_route, gw_backend); relay renders it as a second
+		// X-STGQ-Server-Timing value next to the backend's.
+		r = r.WithContext(obsv.WithStages(r.Context(), obsv.NewStages()))
 		start := time.Now()
 		g.forwardRead(w, r)
 		g.observeRequest("read", r, reqID, start)
@@ -269,6 +273,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if reqID != "" {
 			w.Header().Set(service.RequestIDHeader, reqID)
 		}
+		r = r.WithContext(obsv.WithStages(r.Context(), obsv.NewStages()))
 		start := time.Now()
 		g.forwardMutation(w, r)
 		g.observeRequest("mutation", r, reqID, start)
@@ -460,6 +465,10 @@ type StatusResponse struct {
 	// retried on the leader. A growing rate means replication lag is
 	// regularly outrunning the follower barrier wait.
 	RYWLeaderRetries uint64 `json:"rywLeaderRetries,omitempty"`
+	// Stages summarizes the gateway's per-request stage latency since
+	// process start (gw_route, gw_backend) — the gateway's share of the
+	// X-STGQ-Server-Timing breakdown, aggregated.
+	Stages map[string]obsv.Summary `json:"stages,omitempty"`
 	// Backends is the probed pool view, one entry per configured backend.
 	Backends []BackendStatus `json:"backends"`
 }
@@ -481,6 +490,9 @@ func (g *Gateway) Status() StatusResponse {
 	}
 	resp.RYWReads = g.rywReads.Load()
 	resp.RYWLeaderRetries = g.rywLeaderRetries.Load()
+	if st := mGatewayStageSeconds.Summaries(); len(st) > 0 {
+		resp.Stages = st
+	}
 	for _, b := range g.backends {
 		h := b.health()
 		bs := BackendStatus{

@@ -32,6 +32,9 @@ var (
 		"Where a read's read-your-writes floor came from (header, session).", "source")
 	mGatewaySeconds = obsv.NewHistogramVec("stgq_gateway_request_seconds",
 		"Gateway request latency by traffic class (read, mutation).", "class", nil)
+	mGatewayStageSeconds = obsv.NewHistogramVec("stgq_gateway_stage_seconds",
+		"Per-request gateway stage durations (gw_route: routing and floor "+
+			"resolution; gw_backend: backend round trips, retries included).", "stage", nil)
 )
 
 // ensureRequestID returns r's X-STGQ-Request-ID, generating one when the
@@ -55,6 +58,9 @@ func ensureRequestID(r *http.Request) string {
 func (g *Gateway) observeRequest(class string, r *http.Request, reqID string, start time.Time) {
 	d := time.Since(start)
 	mGatewaySeconds.With(class).Observe(d.Seconds())
+	for _, e := range obsv.StagesFrom(r.Context()).Entries() {
+		mGatewayStageSeconds.With(e.Name).Observe(e.Seconds)
+	}
 	if g.slowRequest > 0 && d >= g.slowRequest {
 		id := reqID
 		if id == "" {

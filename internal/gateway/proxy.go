@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/service"
 )
 
@@ -41,6 +42,8 @@ type proxied struct {
 // min seq) additionally travel with an X-STGQ-Min-Seq barrier and fall
 // back to the leader on a barrier miss (relayRead).
 func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	st := obsv.StagesFrom(r.Context())
 	bound, ok := g.maxLagFor(w, r)
 	if !ok {
 		return
@@ -71,6 +74,7 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := g.doVia(r, b, body)
 	if err == nil {
+		noteRoute(st, start)
 		g.relayRead(w, r, p, b, minSeq, body)
 		return
 	}
@@ -86,6 +90,7 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 	mReadRetries.Inc()
 	if b2, _ := g.pickRead(bound, minSeq, b); b2 != nil {
 		if p2, err2 := g.doVia(r, b2, body); err2 == nil {
+			noteRoute(st, start)
 			g.relayRead(w, r, p2, b2, minSeq, body)
 			return
 		} else if r.Context().Err() == nil {
@@ -146,12 +151,12 @@ func (g *Gateway) relayRead(w http.ResponseWriter, r *http.Request, p *proxied, 
 			g.rywLeaderRetries.Add(1)
 			mRYWLeaderRetries.Inc()
 			if p2, err := g.doTarget(r, target, body); err == nil {
-				relay(w, p2, target)
+				relay(w, r, p2, target)
 				return
 			}
 		}
 	}
-	relay(w, p, b.URL)
+	relay(w, r, p, b.URL)
 }
 
 // noteSessionWrite records an acknowledged mutation's durable sequence
@@ -176,6 +181,7 @@ func (g *Gateway) noteSessionWrite(r *http.Request, p *proxied) {
 // became, a follower): the gateway adopts the hint and re-sends once —
 // safe, because a 403 rejection means the mutation was not applied.
 func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -204,7 +210,8 @@ func (g *Gateway) forwardMutation(w http.ResponseWriter, r *http.Request) {
 		break
 	}
 	g.noteSessionWrite(r, p)
-	relay(w, p, target)
+	noteRoute(obsv.StagesFrom(r.Context()), start)
+	relay(w, r, p, target)
 }
 
 // forwardStream proxies GET /replication/stream to the leader unbuffered:
@@ -295,10 +302,21 @@ func (g *Gateway) doTarget(r *http.Request, target string, body []byte) (*proxie
 	return g.do(r, target, body)
 }
 
-// do issues one buffered proxy round trip. Any error — dial failure or a
+// noteRoute attributes the gateway's own processing so far — everything
+// since the request entered minus the backend round trips already
+// recorded — to the gw_route stage. Called once, just before the
+// response is relayed; backend time added later (a leader retry in
+// relayRead) correctly lands in gw_backend alone.
+func noteRoute(st *obsv.Stages, start time.Time) {
+	st.Add("gw_route", time.Since(start).Seconds()-st.Sum("gw_backend"))
+}
+
+// do issues one buffered proxy round trip, attributed to the gw_backend
+// stage (accumulating across retries). Any error — dial failure or a
 // death mid-response — is returned with nothing written to the client, so
 // the caller may retry.
 func (g *Gateway) do(r *http.Request, target string, body []byte) (*proxied, error) {
+	defer obsv.StagesFrom(r.Context()).Time("gw_backend")()
 	req, err := outbound(r, target, body)
 	if err != nil {
 		return nil, err
@@ -345,14 +363,20 @@ func outbound(r *http.Request, target string, body []byte) (*http.Request, error
 	return req, nil
 }
 
-// relay writes a buffered upstream response to the client.
-func relay(w http.ResponseWriter, p *proxied, backendURL string) {
+// relay writes a buffered upstream response to the client. The gateway's
+// own stage collector (gw_route, gw_backend) is appended as an additional
+// X-STGQ-Server-Timing value alongside the backend's copied one; clients
+// parse both values into one per-stage breakdown.
+func relay(w http.ResponseWriter, r *http.Request, p *proxied, backendURL string) {
 	if p.header.Get(service.RequestIDHeader) != "" {
 		// The backend echoed the request id the gateway already stamped
 		// on the response; keep the upstream copy, not both.
 		w.Header().Del(service.RequestIDHeader)
 	}
 	copyHeader(w.Header(), p.header)
+	if hv := obsv.StagesFrom(r.Context()).HeaderValue(); hv != "" {
+		w.Header().Add(obsv.ServerTimingHeader, hv)
+	}
 	w.Header().Set(BackendHeader, backendURL)
 	w.WriteHeader(p.status)
 	_, _ = w.Write(p.body)

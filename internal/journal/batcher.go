@@ -30,9 +30,26 @@ type Batcher struct {
 	records atomic.Uint64
 }
 
+// Ack is the per-record group-commit acknowledgement: the batch's append
+// error plus the record's share of the wait, split into the time spent
+// queued before the batch started (EnqueueWait) and the batch's own
+// write+fsync time (Fsync). The store forwards the split into per-request
+// stage attribution (journal_enqueue / journal_fsync).
+type Ack struct {
+	// Err is the batch's append error (nil on success, ErrClosed after
+	// Close).
+	Err error
+	// EnqueueWait is how long the record sat queued before its batch
+	// started committing.
+	EnqueueWait time.Duration
+	// Fsync is the batch's write+fsync duration (shared by every record
+	// in the batch).
+	Fsync time.Duration
+}
+
 type batchItem struct {
 	rec Record
-	ack chan error
+	ack chan Ack
 	at  time.Time // enqueue time, for the enqueue/ack latency split
 }
 
@@ -79,11 +96,11 @@ func NewBatcher(app Appender, maxBatch int, maxWait time.Duration) *Batcher {
 // sustained fsync backlog, mutations — and, because the hook enqueues
 // under the planner write lock, queries too — slow to journal speed
 // rather than letting unacknowledged records pile up without bound.
-func (b *Batcher) Enqueue(rec Record) <-chan error {
-	it := batchItem{rec: rec, ack: make(chan error, 1), at: time.Now()}
+func (b *Batcher) Enqueue(rec Record) <-chan Ack {
+	it := batchItem{rec: rec, ack: make(chan Ack, 1), at: time.Now()}
 	b.closeMu.RLock()
 	if b.closed {
-		it.ack <- ErrClosed
+		it.ack <- Ack{Err: ErrClosed}
 	} else {
 		b.in <- it // writer drains until stop closes, so this cannot wedge
 	}
@@ -93,7 +110,7 @@ func (b *Batcher) Enqueue(rec Record) <-chan error {
 
 // Append is Enqueue plus waiting for the group commit.
 func (b *Batcher) Append(rec Record) error {
-	return <-b.Enqueue(rec)
+	return (<-b.Enqueue(rec)).Err
 }
 
 // Flush blocks until everything enqueued before the call has been
@@ -162,7 +179,8 @@ func (b *Batcher) loop() {
 			mAppendEnqueue.Observe(start.Sub(it.at).Seconds())
 		}
 		err := b.app.Append(recs)
-		mAppendFsync.ObserveSince(start)
+		fsync := time.Since(start)
+		mAppendFsync.Observe(fsync.Seconds())
 		mBatchRecords.Observe(float64(len(recs)))
 		if err == nil {
 			b.durable.Store(recs[len(recs)-1].Seq)
@@ -171,7 +189,7 @@ func (b *Batcher) loop() {
 		}
 		for _, it := range batch {
 			mAppendAck.Observe(time.Since(it.at).Seconds())
-			it.ack <- err
+			it.ack <- Ack{Err: err, EnqueueWait: start.Sub(it.at), Fsync: fsync}
 		}
 		reset()
 		return err

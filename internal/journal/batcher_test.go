@@ -121,8 +121,8 @@ func TestBatcherFlushReportsCommitError(t *testing.T) {
 	if err := b.Flush(); !errors.Is(err, boom) {
 		t.Fatalf("Flush over a failing sink returned %v, want %v", err, boom)
 	}
-	if err := <-ack; !errors.Is(err, boom) {
-		t.Fatalf("caller ack = %v, want %v", err, boom)
+	if a := <-ack; !errors.Is(a.Err, boom) {
+		t.Fatalf("caller ack = %v, want %v", a.Err, boom)
 	}
 }
 
@@ -132,7 +132,7 @@ func TestBatcherFlushDrainsBeyondMaxBatch(t *testing.T) {
 	defer b.Close()
 
 	const total = 19
-	acks := make([]<-chan error, total)
+	acks := make([]<-chan Ack, total)
 	for i := range acks {
 		acks[i] = b.Enqueue(rec(uint64(i + 1)))
 	}
@@ -144,9 +144,9 @@ func TestBatcherFlushDrainsBeyondMaxBatch(t *testing.T) {
 	}
 	for i, ack := range acks {
 		select {
-		case err := <-ack:
-			if err != nil {
-				t.Fatalf("ack %d: %v", i, err)
+		case a := <-ack:
+			if a.Err != nil {
+				t.Fatalf("ack %d: %v", i, a.Err)
 			}
 		default:
 			t.Fatalf("ack %d not delivered after Flush", i)
@@ -159,7 +159,7 @@ func TestBatcherFlushIsABarrier(t *testing.T) {
 	b := NewBatcher(log, 1<<20, time.Hour) // neither size nor timer would flush
 	defer b.Close()
 
-	acks := make([]<-chan error, 10)
+	acks := make([]<-chan Ack, 10)
 	for i := range acks {
 		acks[i] = b.Enqueue(rec(uint64(i + 1)))
 	}
@@ -168,9 +168,9 @@ func TestBatcherFlushIsABarrier(t *testing.T) {
 	}
 	for i, ack := range acks {
 		select {
-		case err := <-ack:
-			if err != nil {
-				t.Fatalf("ack %d: %v", i, err)
+		case a := <-ack:
+			if a.Err != nil {
+				t.Fatalf("ack %d: %v", i, a.Err)
 			}
 		default:
 			t.Fatalf("ack %d not delivered after Flush", i)
@@ -188,8 +188,8 @@ func TestBatcherCloseFlushesAndRejects(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := <-ack; err != nil {
-		t.Fatalf("pending record lost on close: %v", err)
+	if a := <-ack; a.Err != nil {
+		t.Fatalf("pending record lost on close: %v", a.Err)
 	}
 	if n := len(log.Records()); n != 1 {
 		t.Fatalf("stored %d records, want 1", n)

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	stgq "repro"
+	"repro/internal/obsv"
 )
 
 // Options tunes a Store. The zero value is a sensible production default.
@@ -368,11 +370,22 @@ func apply(pl *stgq.Planner, rec Record) error {
 // number and enqueues the record while the planner lock is held (so
 // journal order equals apply order), then has the caller wait for group
 // commit after the lock is released (so concurrent writers share fsyncs).
-func (s *Store) onMutation(m stgq.Mutation) func() error {
+// When ctx carries an obsv.Stages collector the wait records the journal's
+// latency split into it: journal_enqueue (queued before the batch
+// started), journal_fsync (the batch's write+fsync), journal_ack (the
+// remainder — ack channel delivery and scheduling).
+func (s *Store) onMutation(ctx context.Context, m stgq.Mutation) func() error {
 	seq := s.seq.Add(1)
+	start := time.Now()
 	ack := s.b.Enqueue(Record{Seq: seq, Mut: m})
 	return func() error {
-		if err := <-ack; err != nil {
+		a := <-ack
+		if st := obsv.StagesFrom(ctx); st != nil {
+			st.AddDuration("journal_enqueue", a.EnqueueWait)
+			st.AddDuration("journal_fsync", a.Fsync)
+			st.AddDuration("journal_ack", time.Since(start)-a.EnqueueWait-a.Fsync)
+		}
+		if err := a.Err; err != nil {
 			return fmt.Errorf("%w: %v: %w", ErrNotDurable, m.Op, err)
 		}
 		// Wake tailing readers (replication streamers) now that the
@@ -555,7 +568,7 @@ func (s *Store) Close() error {
 	// the planner lock, before the caller learns of the failure) lets
 	// snapshotLocked refuse to export in-memory state that now contains
 	// effects without journal records.
-	s.pl.SetMutationHook(func(stgq.Mutation) func() error {
+	s.pl.SetMutationHook(func(context.Context, stgq.Mutation) func() error {
 		s.rejected.Add(1)
 		return func() error { return fmt.Errorf("%w: store closing", ErrNotDurable) }
 	})

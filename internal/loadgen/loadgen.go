@@ -1,0 +1,413 @@
+// Package loadgen is the production load harness behind cmd/stgqload: it
+// drives a mixed read/write workload — the paper's SGSelect/STGSelect
+// queries plus availability/friendship mutations and read-your-writes
+// session reads — against a cluster gateway, and attributes where the
+// latency went.
+//
+// Two driving disciplines are supported. The closed loop fixes
+// concurrency: N workers issue requests back to back, so the measured
+// throughput is the system's capacity at that concurrency. The open loop
+// fixes the arrival rate: requests are launched on a fixed schedule
+// regardless of completions — the discipline that exposes queueing
+// collapse, since a slow system faces the same arrival rate as a fast
+// one (requests that cannot launch are counted as dropped, never
+// silently skipped).
+//
+// Every response's X-STGQ-Server-Timing header (see internal/obsv) is
+// parsed into per-stage latency: gateway routing (gw_route), backend
+// round trip (gw_backend), service decode/barrier/engine/encode, journal
+// enqueue/fsync/ack. Two rows are derived client-side so the stage rows
+// decompose the end-to-end latency: net_overhead (gw_backend minus the
+// backend's own accounted stages — connection and HTTP overhead between
+// gateway and backend) and respond (end-to-end minus the gateway's
+// accounted time — response relay back to the client). The Report's
+// stage table sums to ~1.0 of mean end-to-end latency by construction;
+// StageShareOfE2E states the achieved ratio.
+//
+// All measurement state lives in a private obsv.Registry, so the harness
+// never contaminates the metrics of a process it shares (tests, an
+// embedding tool).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/obsv"
+)
+
+// Op classes the generator drives; these are the label values of the
+// per-class histograms and the keys of Report.Classes.
+const (
+	// ClassSGSelect is the social-only group query (POST /query/group).
+	ClassSGSelect = "sgselect"
+	// ClassSTGSelect is the social-temporal query (POST /query/activity).
+	ClassSTGSelect = "stgselect"
+	// ClassAvail is an availability mutation (POST /availability).
+	ClassAvail = "avail"
+	// ClassFriend is a friendship mutation (POST /friendships).
+	ClassFriend = "friend"
+	// ClassRYWRead is a session read: a group query carrying the worker's
+	// sticky X-STGQ-Session, so the gateway enforces the read-your-writes
+	// floor of the session's past mutations.
+	ClassRYWRead = "ryw_read"
+)
+
+// Classes lists every op class in reporting order.
+var Classes = []string{ClassSGSelect, ClassSTGSelect, ClassAvail, ClassFriend, ClassRYWRead}
+
+// Mix weighs the op classes; weights are relative (they need not sum to
+// anything particular). A zero-valued Mix means DefaultMix.
+type Mix struct {
+	// SGSelect weighs the social-only group queries.
+	SGSelect int
+	// STGSelect weighs the social-temporal queries.
+	STGSelect int
+	// Avail weighs availability mutations.
+	Avail int
+	// Friend weighs friendship mutations.
+	Friend int
+	// RYWRead weighs session (read-your-writes) reads.
+	RYWRead int
+}
+
+// DefaultMix is a read-heavy production-shaped mix: queries dominate,
+// mutations trickle, session reads exercise the RYW path continuously.
+var DefaultMix = Mix{SGSelect: 30, STGSelect: 20, Avail: 25, Friend: 15, RYWRead: 10}
+
+// zero reports whether the mix has no weight at all.
+func (m Mix) zero() bool {
+	return m.SGSelect == 0 && m.STGSelect == 0 && m.Avail == 0 && m.Friend == 0 && m.RYWRead == 0
+}
+
+// weights returns the mix as a slice parallel to Classes.
+func (m Mix) weights() []int {
+	return []int{m.SGSelect, m.STGSelect, m.Avail, m.Friend, m.RYWRead}
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// TargetURL is the gateway (or single server) to drive.
+	TargetURL string
+	// Mode is "closed" (fixed concurrency) or "open" (fixed arrival rate).
+	Mode string
+	// Concurrency is the closed-loop worker count (also the open loop's
+	// in-flight cap multiplier). Zero means 8.
+	Concurrency int
+	// RatePerSec is the open-loop arrival rate. Zero means 50.
+	RatePerSec float64
+	// Duration bounds the run. Zero means 10 seconds.
+	Duration time.Duration
+	// Users is the population size ops draw person ids from; it must not
+	// exceed the target's population.
+	Users int
+	// HorizonSlots bounds the availability ranges mutations write.
+	HorizonSlots int
+	// Seed makes the op sequence deterministic.
+	Seed int64
+	// Mix weighs the op classes (zero value = DefaultMix).
+	Mix Mix
+	// Client is the HTTP client to drive with (nil = a dedicated client
+	// with a generous connection pool).
+	Client *http.Client
+}
+
+// Runner drives one load run and accumulates its measurements.
+type Runner struct {
+	cfg    Config
+	client *http.Client
+
+	reg          *obsv.Registry
+	e2eSeconds   *obsv.Histogram
+	opSeconds    *obsv.HistogramVec
+	stageSeconds *obsv.HistogramVec
+	opsTotal     *obsv.CounterVec
+	errsTotal    *obsv.CounterVec
+	dropped      *obsv.Counter
+}
+
+// NewRunner validates cfg, fills its defaults and prepares a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.TargetURL == "" {
+		return nil, fmt.Errorf("loadgen: TargetURL is required")
+	}
+	switch cfg.Mode {
+	case "closed", "open":
+	case "":
+		cfg.Mode = "closed"
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want closed or open)", cfg.Mode)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.RatePerSec <= 0 {
+		cfg.RatePerSec = 50
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("loadgen: Users must be positive")
+	}
+	if cfg.HorizonSlots <= 0 {
+		cfg.HorizonSlots = 48
+	}
+	if cfg.Mix.zero() {
+		cfg.Mix = DefaultMix
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 4 * cfg.Concurrency
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	r := &Runner{cfg: cfg, client: client, reg: obsv.NewRegistry()}
+	r.e2eSeconds = r.reg.NewHistogram("stgq_load_e2e_seconds",
+		"End-to-end request latency across all op classes.", nil)
+	r.opSeconds = r.reg.NewHistogramVec("stgq_load_op_seconds",
+		"End-to-end request latency by op class.", "class", nil)
+	r.stageSeconds = r.reg.NewHistogramVec("stgq_load_stage_seconds",
+		"Per-request server stage latency parsed from X-STGQ-Server-Timing, "+
+			"plus the derived net_overhead and respond rows.", "stage", nil)
+	r.opsTotal = r.reg.NewCounterVec("stgq_load_ops_total",
+		"Completed requests by op class.", "class")
+	r.errsTotal = r.reg.NewCounterVec("stgq_load_errors_total",
+		"Failed requests by op class (transport errors and 4xx/5xx other than 422).", "class")
+	r.dropped = r.reg.NewCounter("stgq_load_dropped_total",
+		"Open-loop arrivals that could not launch because the in-flight cap was reached.")
+	return r, nil
+}
+
+// Run drives the configured workload until the duration elapses (or ctx
+// is cancelled) and returns the report. The run itself never fails once
+// started — individual request failures are counted, not returned — so a
+// collapsing system produces a report saying so rather than no report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	if r.cfg.Mode == "open" {
+		r.runOpen(ctx)
+	} else {
+		r.runClosed(ctx)
+	}
+	return r.report(time.Since(start)), nil
+}
+
+// runClosed runs Concurrency workers back to back until ctx expires.
+func (r *Runner) runClosed(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			w := r.newWorker(worker)
+			for ctx.Err() == nil {
+				w.step(ctx)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runOpen launches one op per 1/RatePerSec tick regardless of
+// completions, with an in-flight cap of 8×Concurrency: a system slower
+// than the arrival rate sees the cap fill and further arrivals counted
+// as dropped — the honest open-loop signal of saturation.
+func (r *Runner) runOpen(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / r.cfg.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, 8*r.cfg.Concurrency)
+	var wg sync.WaitGroup
+	workers := make([]*worker, r.cfg.Concurrency)
+	for i := range workers {
+		workers[i] = r.newWorker(i)
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+		}
+		w := workers[n%len(workers)]
+		select {
+		case sem <- struct{}{}:
+		default:
+			r.dropped.Inc()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w.step(ctx)
+		}()
+	}
+}
+
+// worker holds one logical client's deterministic op stream and sticky
+// session. A worker's mutations and session reads share the session id,
+// so its reads ride the gateway's read-your-writes floor.
+type worker struct {
+	r       *Runner
+	rng     *rand.Rand
+	mu      sync.Mutex // open loop: several in-flight ops share one worker
+	session string
+}
+
+func (r *Runner) newWorker(i int) *worker {
+	return &worker{
+		r:       r,
+		rng:     rand.New(rand.NewSource(r.cfg.Seed + int64(i)*7919)),
+		session: fmt.Sprintf("loadgen-w%d", i),
+	}
+}
+
+// step issues one op picked from the weighted mix.
+func (w *worker) step(ctx context.Context) {
+	w.mu.Lock()
+	class := w.pickClassLocked()
+	body, path, withSession := w.buildLocked(class)
+	w.mu.Unlock()
+	w.r.issue(ctx, class, path, body, withSession, w.session)
+}
+
+// pickClassLocked draws an op class from the weighted mix.
+func (w *worker) pickClassLocked() string {
+	ws := w.r.cfg.Mix.weights()
+	total := 0
+	for _, n := range ws {
+		total += n
+	}
+	pick := w.rng.Intn(total)
+	for i, n := range ws {
+		if pick < n {
+			return Classes[i]
+		}
+		pick -= n
+	}
+	return Classes[len(Classes)-1]
+}
+
+// buildLocked renders one op of the given class as (body, path,
+// withSession).
+func (w *worker) buildLocked(class string) ([]byte, string, bool) {
+	users, horizon := w.r.cfg.Users, w.r.cfg.HorizonSlots
+	p := w.rng.Intn(users)
+	switch class {
+	case ClassSGSelect:
+		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1}`, p), "/query/group", false
+	case ClassSTGSelect:
+		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1,"m":2}`, p), "/query/activity", false
+	case ClassAvail:
+		from := w.rng.Intn(horizon)
+		to := from + 1 + w.rng.Intn(horizon-from)
+		avail := "true"
+		if w.rng.Intn(2) == 0 {
+			avail = "false"
+		}
+		return jsonBody(`{"person":%d,"from":%d,"to":%d,"available":%s}`, p, from, to, avail),
+			"/availability", true
+	case ClassFriend:
+		q := w.rng.Intn(users)
+		if q == p {
+			q = (q + 1) % users
+		}
+		d := 1 + w.rng.Float64()*9
+		return jsonBody(`{"a":%d,"b":%d,"distance":%.3f}`, p, q, d), "/friendships", true
+	default: // ClassRYWRead
+		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1}`, p), "/query/group", true
+	}
+}
+
+// jsonBody renders a request body from a format string.
+func jsonBody(format string, args ...any) []byte {
+	return []byte(fmt.Sprintf(format, args...))
+}
+
+// issue sends one request, classifies the outcome and records latency
+// plus the parsed stage breakdown. An infeasible query (422) is a
+// success: the NP-hard search ran to completion and proved
+// infeasibility — the work the harness exists to measure.
+func (r *Runner) issue(ctx context.Context, class, path string, body []byte, withSession bool, session string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.TargetURL+path, bytes.NewReader(body))
+	if err != nil {
+		r.errsTotal.With(class).Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if withSession {
+		req.Header.Set(gateway.SessionHeader, session)
+	}
+	t0 := time.Now()
+	resp, err := r.client.Do(req)
+	e2e := time.Since(t0).Seconds()
+	if err != nil {
+		if ctx.Err() == nil {
+			r.errsTotal.With(class).Inc()
+		}
+		return
+	}
+	resp.Body.Close()
+	r.opsTotal.With(class).Inc()
+	ok := resp.StatusCode < 300 || resp.StatusCode == 422
+	if !ok {
+		r.errsTotal.With(class).Inc()
+		return
+	}
+	r.e2eSeconds.Observe(e2e)
+	r.opSeconds.With(class).Observe(e2e)
+	r.recordStages(e2e, resp.Header.Values(obsv.ServerTimingHeader))
+}
+
+// Derived stage rows (computed client-side; see the package comment).
+const (
+	// StageNetOverhead is gw_backend minus the backend's own accounted
+	// stages: connection and HTTP overhead between gateway and backend.
+	StageNetOverhead = "net_overhead"
+	// StageRespond is end-to-end minus the gateway's accounted time: the
+	// response relay back to the client plus client-side overhead.
+	StageRespond = "respond"
+)
+
+// recordStages folds one response's Server-Timing entries (plus the two
+// derived rows) into the stage histograms. Responses without the header
+// (e.g. from an uninstrumented server) record nothing.
+func (r *Runner) recordStages(e2e float64, headerValues []string) {
+	stages := obsv.ParseServerTiming(headerValues)
+	if len(stages) == 0 {
+		return
+	}
+	var backendAccounted float64
+	for name, sec := range stages {
+		r.stageSeconds.With(name).Observe(sec)
+		if name != "gw_route" && name != "gw_backend" {
+			backendAccounted += sec
+		}
+	}
+	gwBackend, hasGW := stages["gw_backend"]
+	if hasGW {
+		r.stageSeconds.With(StageNetOverhead).Observe(clampNonNeg(gwBackend - backendAccounted))
+		r.stageSeconds.With(StageRespond).Observe(clampNonNeg(e2e - stages["gw_route"] - gwBackend))
+	}
+}
+
+// clampNonNeg floors v at zero (clock skew between derived quantities).
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

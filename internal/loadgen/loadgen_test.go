@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestClosedLoopAgainstTopology is the harness's own smoke test: a tiny
+// in-process cluster, a short closed-loop mixed run, and the two
+// properties the report exists for — every op class executed, and the
+// per-stage rows decompose the end-to-end latency.
+func TestClosedLoopAgainstTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short mode")
+	}
+	topo, err := StartTopology(TopologyConfig{Users: 40, Followers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	r, err := NewRunner(Config{
+		TargetURL:    topo.GatewayURL,
+		Mode:         "closed",
+		Concurrency:  4,
+		Duration:     1500 * time.Millisecond,
+		Users:        40,
+		HorizonSlots: topo.HorizonSlots,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops completed")
+	}
+	if rep.TotalErrors > rep.TotalOps/10 {
+		t.Errorf("error rate too high: %d errors of %d ops", rep.TotalErrors, rep.TotalOps)
+	}
+	for _, class := range Classes {
+		if rep.Classes[class].Ops == 0 {
+			t.Errorf("class %s: no ops in a 1.5s mixed run", class)
+		}
+		if cs := rep.Classes[class]; cs.Ops > cs.Errors && cs.P50Seconds <= 0 {
+			t.Errorf("class %s: zero p50 with %d successful ops", class, cs.Ops-cs.Errors)
+		}
+	}
+
+	// The mutation path must surface the journal split, the query path the
+	// service split, and the gateway its own; the derived rows close the
+	// decomposition.
+	for _, stage := range []string{
+		"gw_route", "gw_backend", "svc_decode", "svc_engine", "svc_encode",
+		"journal_enqueue", "journal_fsync", "journal_ack",
+		StageNetOverhead, StageRespond,
+	} {
+		if rep.Stages[stage].Count == 0 {
+			t.Errorf("stage %s: never reported", stage)
+		}
+	}
+
+	// Stage rows (gw_backend excluded as overlapping) must account for the
+	// end-to-end time: the decomposition is exact up to clamping and
+	// headerless responses.
+	if rep.StageShareOfE2E < 0.80 || rep.StageShareOfE2E > 1.20 {
+		t.Errorf("stage rows account for %.2f of e2e time, want ~1.0", rep.StageShareOfE2E)
+	}
+
+	// The report must be a valid benchcheck input: named benchmark,
+	// positive ns/op, populated metrics.
+	if rep.Benchmark != "stgqload/closed" {
+		t.Errorf("benchmark name %q", rep.Benchmark)
+	}
+	if rep.NsPerOp <= 0 {
+		t.Errorf("ns/op %v", rep.NsPerOp)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Error("no metrics snapshot")
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not marshalable: %v", err)
+	}
+}
+
+// TestOpenLoopSmoke drives the open-loop scheduler briefly: arrivals are
+// launched on the fixed schedule and either complete or are counted as
+// dropped — never silently lost.
+func TestOpenLoopSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short mode")
+	}
+	topo, err := StartTopology(TopologyConfig{Users: 20, Followers: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	r, err := NewRunner(Config{
+		TargetURL:    topo.GatewayURL,
+		Mode:         "open",
+		Concurrency:  4,
+		RatePerSec:   200,
+		Duration:     time.Second,
+		Users:        20,
+		HorizonSlots: topo.HorizonSlots,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops completed")
+	}
+	if rep.Benchmark != "stgqload/open" {
+		t.Errorf("benchmark name %q", rep.Benchmark)
+	}
+}
+
+// TestRunnerConfigValidation pins the config error paths.
+func TestRunnerConfigValidation(t *testing.T) {
+	if _, err := NewRunner(Config{Users: 10}); err == nil {
+		t.Error("missing TargetURL accepted")
+	}
+	if _, err := NewRunner(Config{TargetURL: "http://x", Users: 0}); err == nil {
+		t.Error("zero Users accepted")
+	}
+	if _, err := NewRunner(Config{TargetURL: "http://x", Users: 10, Mode: "sideways"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

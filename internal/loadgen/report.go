@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// ClassStats summarizes one op class's outcome.
+type ClassStats struct {
+	// Ops counts completed requests (successes and errors).
+	Ops uint64 `json:"ops"`
+	// Errors counts transport failures and non-2xx/422 statuses.
+	Errors uint64 `json:"errors"`
+	// ThroughputOps is successful ops per second over the run.
+	ThroughputOps float64 `json:"throughputOps"`
+	// MeanSeconds is the mean end-to-end latency of successful ops.
+	MeanSeconds float64 `json:"meanSeconds"`
+	// P50Seconds is the median end-to-end latency.
+	P50Seconds float64 `json:"p50Seconds"`
+	// P99Seconds is the 99th-percentile end-to-end latency.
+	P99Seconds float64 `json:"p99Seconds"`
+	// P999Seconds is the 99.9th-percentile end-to-end latency.
+	P999Seconds float64 `json:"p999Seconds"`
+}
+
+// StageStats summarizes one server (or derived) stage across the run.
+type StageStats struct {
+	// Count is how many requests reported the stage.
+	Count uint64 `json:"count"`
+	// MeanSeconds is the stage's mean duration per reporting request.
+	MeanSeconds float64 `json:"meanSeconds"`
+	// TotalSeconds is the stage's total time across the run.
+	TotalSeconds float64 `json:"totalSeconds"`
+	// ShareOfE2E is TotalSeconds over the total end-to-end time — where
+	// the latency went, as a fraction.
+	ShareOfE2E float64 `json:"shareOfE2E"`
+}
+
+// Report is the outcome of one load run: the BENCH_load.json schema.
+// It embeds obsv.BenchReport so internal/tools/benchcheck validates it
+// like every other BENCH file, and adds the per-class and per-stage
+// breakdowns the harness exists to produce.
+type Report struct {
+	obsv.BenchReport
+	// Mode is the driving discipline ("closed" or "open").
+	Mode string `json:"mode"`
+	// DurationSeconds is the measured run length.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// TotalOps counts all completed requests across classes.
+	TotalOps uint64 `json:"totalOps"`
+	// TotalErrors counts all failed requests across classes.
+	TotalErrors uint64 `json:"totalErrors"`
+	// Dropped counts open-loop arrivals shed at the in-flight cap
+	// (always 0 in closed mode); nonzero means the system could not
+	// sustain the offered rate.
+	Dropped uint64 `json:"dropped"`
+	// ThroughputOps is successful ops per second across classes.
+	ThroughputOps float64 `json:"throughputOps"`
+	// Classes breaks the run down by op class.
+	Classes map[string]ClassStats `json:"classes"`
+	// Stages breaks mean request latency down by server stage, including
+	// the derived net_overhead and respond rows.
+	Stages map[string]StageStats `json:"stages"`
+	// StageShareOfE2E is the fraction of total end-to-end latency the
+	// non-overlapping stage rows account for (gw_backend is excluded
+	// from the sum: net_overhead plus the backend's own stages replace
+	// it). By construction it should be ~1.0; a lower value means
+	// requests without stage headers diluted the attribution.
+	StageShareOfE2E float64 `json:"stageShareOfE2E"`
+}
+
+// report assembles the Report from the runner's registry.
+func (r *Runner) report(elapsed time.Duration) *Report {
+	rep := &Report{
+		Mode:            r.cfg.Mode,
+		DurationSeconds: elapsed.Seconds(),
+		Dropped:         r.dropped.Value(),
+		Classes:         make(map[string]ClassStats),
+		Stages:          make(map[string]StageStats),
+	}
+	rep.Benchmark = "stgqload/" + r.cfg.Mode
+	rep.Metrics = r.reg.TakeSnapshot("stgq_load_")
+
+	secs := elapsed.Seconds()
+	for _, class := range Classes {
+		h := r.opSeconds.With(class)
+		cs := ClassStats{
+			Ops:    r.opsTotal.With(class).Value(),
+			Errors: r.errsTotal.With(class).Value(),
+		}
+		if n := h.Count(); n > 0 {
+			cs.ThroughputOps = float64(n) / secs
+			cs.MeanSeconds = h.Sum() / float64(n)
+			cs.P50Seconds = h.Quantile(0.50)
+			cs.P99Seconds = h.Quantile(0.99)
+			cs.P999Seconds = h.Quantile(0.999)
+		}
+		rep.TotalOps += cs.Ops
+		rep.TotalErrors += cs.Errors
+		rep.Classes[class] = cs
+	}
+
+	e2eCount, e2eSum := r.e2eSeconds.Count(), r.e2eSeconds.Sum()
+	if e2eCount > 0 {
+		rep.ThroughputOps = float64(e2eCount) / secs
+		rep.NsPerOp = e2eSum / float64(e2eCount) * 1e9
+	}
+	var attributed float64
+	for name, h := range r.stageHistograms() {
+		ss := StageStats{Count: h.Count(), TotalSeconds: h.Sum()}
+		if ss.Count > 0 {
+			ss.MeanSeconds = ss.TotalSeconds / float64(ss.Count)
+		}
+		if e2eSum > 0 {
+			ss.ShareOfE2E = ss.TotalSeconds / e2eSum
+		}
+		rep.Stages[name] = ss
+		if name != "gw_backend" { // overlaps its net_overhead + backend split
+			attributed += ss.TotalSeconds
+		}
+	}
+	if e2eSum > 0 {
+		rep.StageShareOfE2E = attributed / e2eSum
+	}
+	return rep
+}
+
+// stageHistograms lists the populated per-stage histograms by name.
+func (r *Runner) stageHistograms() map[string]*obsv.Histogram {
+	out := make(map[string]*obsv.Histogram)
+	for name, sum := range r.stageSeconds.Summaries() {
+		if sum.Count > 0 {
+			out[name] = r.stageSeconds.With(name)
+		}
+	}
+	return out
+}
+
+// Format renders the report as the human-readable run summary cmd/stgqload
+// prints: totals, the per-class latency table, and the per-stage
+// attribution table sorted by share.
+func (rep *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stgqload %s: %d ops in %.1fs (%.1f ops/s), %d errors, %d dropped\n",
+		rep.Mode, rep.TotalOps, rep.DurationSeconds, rep.ThroughputOps,
+		rep.TotalErrors, rep.Dropped)
+	fmt.Fprintf(&b, "\n%-10s %8s %8s %10s %10s %10s %10s\n",
+		"class", "ops", "err", "thru/s", "p50", "p99", "p999")
+	for _, class := range Classes {
+		cs := rep.Classes[class]
+		fmt.Fprintf(&b, "%-10s %8d %8d %10.1f %10s %10s %10s\n",
+			class, cs.Ops, cs.Errors, cs.ThroughputOps,
+			fmtSec(cs.P50Seconds), fmtSec(cs.P99Seconds), fmtSec(cs.P999Seconds))
+	}
+	names := make([]string, 0, len(rep.Stages))
+	for name := range rep.Stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return rep.Stages[names[i]].TotalSeconds > rep.Stages[names[j]].TotalSeconds
+	})
+	fmt.Fprintf(&b, "\n%-16s %10s %10s %8s\n", "stage", "mean", "total", "share")
+	for _, name := range names {
+		ss := rep.Stages[name]
+		fmt.Fprintf(&b, "%-16s %10s %9.2fs %7.1f%%\n",
+			name, fmtSec(ss.MeanSeconds), ss.TotalSeconds, 100*ss.ShareOfE2E)
+	}
+	fmt.Fprintf(&b, "stage rows account for %.1f%% of end-to-end time (gw_backend excluded as overlapping)\n",
+		100*rep.StageShareOfE2E)
+	return b.String()
+}
+
+// fmtSec renders a duration in engineering units (µs/ms/s).
+func fmtSec(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}

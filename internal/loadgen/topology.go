@@ -1,0 +1,209 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gateway"
+	"repro/internal/journal"
+	"repro/internal/replica"
+	"repro/internal/service"
+)
+
+// TopologyConfig parameterizes an in-process cluster for self-contained
+// load runs (the -target "" mode of cmd/stgqload and the CI smoke run).
+type TopologyConfig struct {
+	// Users sizes the synthetic population the leader is seeded with
+	// (dataset.Synthetic; minimum 5).
+	Users int
+	// Followers is the replica count behind the gateway (default 2).
+	Followers int
+	// Seed makes the seeded population deterministic.
+	Seed int64
+	// Days sizes each person's schedule horizon (default 2).
+	Days int
+	// Dir is the durable state directory ("" = a fresh temp dir that
+	// Close removes).
+	Dir string
+}
+
+// Topology is a live in-process leader/followers/gateway cluster: a
+// durable leader seeded from a synthetic dataset, followers replicating
+// through the gateway's stream proxy, and the gateway routing reads by
+// staleness — the same wiring as a production deployment, minus the
+// network.
+type Topology struct {
+	// GatewayURL is the cluster entry point load runs should target.
+	GatewayURL string
+	// HorizonSlots is the seeded schedule horizon; mutation generators
+	// must bound their slot ranges by it.
+	HorizonSlots int
+
+	closers []func() // reverse-order shutdown
+	tmpDir  string   // "" when the caller owns Dir
+}
+
+// serveOn runs h on l until shutdown and returns the stopper.
+func serveOn(l net.Listener, h http.Handler) func() {
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(l) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+// StartTopology boots the cluster and blocks until the gateway has
+// probed a healthy leader, so a load run can start cold-start-free.
+// Callers must Close it.
+func StartTopology(cfg TopologyConfig) (*Topology, error) {
+	if cfg.Users < 5 {
+		return nil, fmt.Errorf("loadgen: Users must be at least 5, got %d", cfg.Users)
+	}
+	if cfg.Followers < 0 {
+		return nil, fmt.Errorf("loadgen: negative follower count")
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 2
+	}
+	topo := &Topology{}
+	ok := false
+	defer func() {
+		if !ok {
+			topo.Close()
+		}
+	}()
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "stgqload-")
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		topo.tmpDir = dir
+	}
+
+	// Durable leader, seeded with the synthetic population.
+	ds := dataset.Synthetic(cfg.Users, cfg.Seed, cfg.Days)
+	topo.HorizonSlots = ds.Cal.Horizon()
+	leaderDir := filepath.Join(dir, "leader")
+	if err := journal.ImportDataset(leaderDir, ds); err != nil {
+		return nil, err
+	}
+	st, err := journal.Open(leaderDir, journal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	topo.closers = append(topo.closers, func() { _ = st.Close() })
+	ll, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	leaderURL := "http://" + ll.Addr().String()
+	topo.closers = append(topo.closers, serveOn(ll, service.NewWithStore(st)))
+
+	// The gateway's address must exist before the followers, which chain
+	// their replication through it so they can re-home after a promotion.
+	gl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	gwURL := "http://" + gl.Addr().String()
+	topo.GatewayURL = gwURL
+
+	backends := []string{leaderURL}
+	for i := 0; i < cfg.Followers; i++ {
+		fo, err := replica.NewFollower(replica.Config{
+			LeaderURL:  gwURL,
+			Dir:        filepath.Join(dir, fmt.Sprintf("follower%d", i)),
+			MinBackoff: 5 * time.Millisecond,
+			MaxBackoff: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := service.NewFollower(fo, gwURL)
+		fl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		backends = append(backends, "http://"+fl.Addr().String())
+		stopHTTP := serveOn(fl, srv)
+		fctx, fcancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { fo.Run(fctx); close(done) }()
+		topo.closers = append(topo.closers, func() {
+			fcancel()
+			<-done
+			srv.CloseState()
+			stopHTTP()
+		})
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:      backends,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gctx, gcancel := context.WithCancel(context.Background())
+	gdone := make(chan struct{})
+	go func() { gw.Run(gctx); close(gdone) }()
+	stopGW := serveOn(gl, gw)
+	topo.closers = append(topo.closers, func() {
+		gcancel()
+		<-gdone
+		gw.StopStreams()
+		stopGW()
+	})
+
+	if err := waitForLeader(gwURL, 10*time.Second); err != nil {
+		return nil, err
+	}
+	ok = true
+	return topo, nil
+}
+
+// waitForLeader polls /gateway/status until the probe loop has found the
+// leader (or the deadline passes).
+func waitForLeader(gwURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(gwURL + "/gateway/status")
+		if err == nil {
+			var status struct {
+				Leader string `json:"leader"`
+			}
+			decErr := json.NewDecoder(resp.Body).Decode(&status)
+			resp.Body.Close()
+			if decErr == nil && status.Leader != "" {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: gateway found no leader within %s", timeout)
+}
+
+// Close tears the cluster down in reverse boot order and removes the
+// temp dir when StartTopology created one.
+func (t *Topology) Close() {
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		t.closers[i]()
+	}
+	t.closers = nil
+	if t.tmpDir != "" {
+		_ = os.RemoveAll(t.tmpDir)
+		t.tmpDir = ""
+	}
+}

@@ -59,9 +59,13 @@ func NewRegistry() *Registry {
 // metrics on; both daemons expose it at GET /metrics.
 var Default = NewRegistry()
 
-// register adds m, panicking on a duplicate name: metrics are static
-// package vars, so a collision is a programming error caught at init.
+// register adds m, panicking on a duplicate or invalid name: metrics
+// are static package vars, so either is a programming error caught at
+// init.
 func (r *Registry) register(m metric) {
+	if !validMetricName(m.name()) {
+		panic("obsv: invalid metric name " + m.name())
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.nm[m.name()]; dup {
@@ -69,6 +73,27 @@ func (r *Registry) register(m metric) {
 	}
 	r.nm[m.name()] = m
 	r.ms = append(r.ms, m)
+}
+
+// validMetricName reports whether name is a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*. An illegal name would make the whole
+// /metrics exposition unscrapable, so registration refuses it outright.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // metrics returns a stable copy of the registration order.
@@ -219,12 +244,30 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // linear interpolation inside the bucket holding the target rank. The
 // overflow (+Inf) bucket reports the largest finite bound — the estimate
 // saturates rather than invents values past the instrumented range.
-// Returns 0 when nothing has been observed.
+// With a single observation the sum IS the exact value, so the estimate
+// is clamped to it: interpolation alone would report e.g. p50=3.75ms
+// for one observed 2.75ms sample. Returns 0 when nothing has been
+// observed.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
+	est := h.quantileInterpolated(q, total)
+	if total == 1 {
+		// One sample: the exact value is known (the sum). Bucket
+		// interpolation must never report more than was observed.
+		if s := h.Sum(); s < est {
+			est = s
+		}
+	}
+	return est
+}
+
+// quantileInterpolated is the raw bucket-interpolation estimate for the
+// given total (callers pass a loaded total so the count/clamp pair is
+// consistent).
+func (h *Histogram) quantileInterpolated(q float64, total uint64) float64 {
 	rank := q * float64(total)
 	var cum uint64
 	for i := range h.counts {

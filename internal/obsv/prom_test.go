@@ -1,0 +1,114 @@
+package obsv
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// render returns r's full text exposition.
+func render(r *Registry) string {
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	r.WritePrometheus(bw)
+	bw.Flush()
+	return sb.String()
+}
+
+// TestPromLabelValueEscaping pins the text-exposition escaping rules for
+// label values: quotes, backslashes, and newlines must come out in the
+// \", \\, \n forms the format defines — an unescaped quote or raw
+// newline corrupts every series after it.
+func TestPromLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", "", "path")
+	v.With(`quote"inside`).Inc()
+	v.With(`back\slash`).Inc()
+	v.With("new\nline").Inc()
+
+	out := render(r)
+	for _, want := range []string{
+		`esc_total{path="quote\"inside"} 1`,
+		`esc_total{path="back\\slash"} 1`,
+		`esc_total{path="new\nline"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// A raw newline in a label value would split its series across two
+	// lines: every esc_total line must be a complete `series value` pair.
+	var series int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "esc_total{") {
+			series++
+			if !strings.HasSuffix(line, "} 1") {
+				t.Fatalf("series split across lines: %q", line)
+			}
+		}
+	}
+	if series != 3 {
+		t.Fatalf("got %d esc_total series lines, want 3", series)
+	}
+}
+
+// TestPromHistogramVecEscaping covers the same rules on the histogram
+// side, where the label set also carries the le bound.
+func TestPromHistogramVecEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("hesc_seconds", "", "backend", []float64{1})
+	v.With(`http://x/"y"`).Observe(0.5)
+	out := render(r)
+	if !strings.Contains(out, `hesc_seconds_bucket{backend="http://x/\"y\"",le="1"} 1`) {
+		t.Fatalf("histogram vec escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `hesc_seconds_count{backend="http://x/\"y\""} 1`) {
+		t.Fatalf("histogram vec suffix escaping wrong:\n%s", out)
+	}
+}
+
+// TestMetricNameValidation: registration panics on names the exposition
+// format cannot carry.
+func TestMetricNameValidation(t *testing.T) {
+	valid := []string{"a", "_x", "ns:sub_total", "x9"}
+	for _, name := range valid {
+		if !validMetricName(name) {
+			t.Fatalf("validMetricName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{"", "9lives", "has space", "dash-ed", "ünicode", "new\nline"}
+	for _, name := range invalid {
+		if validMetricName(name) {
+			t.Fatalf("validMetricName(%q) = true, want false", name)
+		}
+	}
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering an invalid metric name")
+		}
+	}()
+	r.NewCounter("bad-name", "")
+}
+
+// TestPromDeterministicOrdering: two renders of the same registry are
+// byte-identical, and vec children appear in sorted label order no
+// matter which was created first.
+func TestPromDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("ord_total", "", "k")
+	v.With("zebra").Inc()
+	v.With("alpha").Inc()
+	v.With("mid").Inc()
+
+	out1, out2 := render(r), render(r)
+	if out1 != out2 {
+		t.Fatal("two renders of the same registry differ")
+	}
+	za := strings.Index(out1, `k="alpha"`)
+	zm := strings.Index(out1, `k="mid"`)
+	zz := strings.Index(out1, `k="zebra"`)
+	if !(za < zm && zm < zz) {
+		t.Fatalf("vec children not in sorted label order:\n%s", out1)
+	}
+}

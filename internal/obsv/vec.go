@@ -43,11 +43,13 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
-// each visits children in creation order under the vec lock.
+// each visits children in sorted label order under the vec lock, so
+// exposition and snapshots are deterministic regardless of which
+// request created a child first.
 func (v *CounterVec) each(fn func(value string, c *Counter)) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for _, val := range v.order {
+	for _, val := range sortedCopy(v.order) {
 		fn(val, v.children[val])
 	}
 }
@@ -115,11 +117,12 @@ func (v *HistogramVec) With(value string) *Histogram {
 	return h
 }
 
-// each visits children in creation order under the vec lock.
+// each visits children in sorted label order under the vec lock (see
+// CounterVec.each: deterministic exposition).
 func (v *HistogramVec) each(fn func(value string, h *Histogram)) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for _, val := range v.order {
+	for _, val := range sortedCopy(v.order) {
 		fn(val, v.children[val])
 	}
 }

@@ -31,6 +31,9 @@ var (
 		"Time queries spend waiting on an X-STGQ-Min-Seq read barrier.", nil)
 	mBarrier412 = obsv.NewCounter("stgq_service_barrier_412_total",
 		"Read barriers that ran out the bounded wait and answered 412.")
+	mStageSeconds = obsv.NewHistogramVec("stgq_service_stage_seconds",
+		"Per-request stage durations (svc_decode, svc_barrier, svc_engine, "+
+			"svc_encode, journal_enqueue, journal_fsync, journal_ack).", "stage", nil)
 )
 
 // statusWriter captures the response status for metrics/logging. It
@@ -90,10 +93,12 @@ func codeClass(code int) string {
 }
 
 // handle registers pattern with per-request instrumentation: latency by
-// endpoint, status-class counting, request-id echo, and the
-// threshold-gated slow-request log line. The replication stream is
-// registered raw (see routes) — a long-poll held open for its lifetime
-// is not a slow request.
+// endpoint, status-class counting, stage attribution (an obsv.Stages
+// collector injected into the request context; handlers and the journal
+// hook record into it, reply renders it as X-STGQ-Server-Timing),
+// request-id echo, and the threshold-gated slow-request log line. The
+// replication stream is registered raw (see routes) — a long-poll held
+// open for its lifetime is not a slow request.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -101,11 +106,16 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		if reqID != "" {
 			w.Header().Set(RequestIDHeader, reqID)
 		}
+		st := obsv.NewStages()
+		r = r.WithContext(obsv.WithStages(r.Context(), st))
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		d := time.Since(start)
 		mRequestSeconds.With(pattern).Observe(d.Seconds())
 		mResponses.With(codeClass(sw.Status())).Inc()
+		for _, e := range st.Entries() {
+			mStageSeconds.With(e.Name).Observe(e.Seconds)
+		}
 		if slow := s.slowThreshold(); slow > 0 && d >= slow {
 			log.Printf("stgq: slow request endpoint=%q status=%d duration=%s request_id=%s",
 				pattern, sw.Status(), d, requestIDOrDash(reqID))
@@ -135,6 +145,10 @@ type ServiceMetrics struct {
 	FsyncTotal uint64 `json:"fsyncTotal"`
 	// BatchP50Records is the estimated median group-commit batch size.
 	BatchP50Records float64 `json:"batchP50Records"`
+	// Stages summarizes per-request stage latency (svc_*/journal_*
+	// stages, keyed by stage name) since process start — the same split
+	// X-STGQ-Server-Timing reports per request, aggregated.
+	Stages map[string]obsv.Summary `json:"stages,omitempty"`
 }
 
 // serviceMetrics reads the journal metric snapshot for /status.
@@ -150,6 +164,9 @@ func serviceMetrics() *ServiceMetrics {
 	}
 	if s, ok := snap["stgq_journal_batch_records"]; ok {
 		m.BatchP50Records = s.P50
+	}
+	if st := mStageSeconds.Summaries(); len(st) > 0 {
+		m.Stages = st
 	}
 	return m
 }

@@ -16,6 +16,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // WriteSeqHeader is the response header durable leaders attach to every
@@ -87,6 +89,7 @@ func (s *Server) awaitMinSeq(w http.ResponseWriter, r *http.Request) bool {
 	defer cancel()
 	waitStart := time.Now()
 	defer mBarrierWait.ObserveSince(waitStart)
+	defer obsv.StagesFrom(r.Context()).Time("svc_barrier")()
 	var werr error
 	switch {
 	case fo != nil:

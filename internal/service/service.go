@@ -384,13 +384,19 @@ func (s *Server) handleAddPerson(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := pl.AddPerson(req.Name)
+	var (
+		id  stgq.PersonID
+		err error
+	)
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		id, err = pl.AddPersonCtx(r.Context(), req.Name)
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.noteWriteSeq(w)
-	writeJSON(w, http.StatusOK, AddPersonResponse{ID: int(id)})
+	reply(w, r, http.StatusOK, AddPersonResponse{ID: int(id)})
 }
 
 func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
@@ -402,12 +408,16 @@ func (s *Server) handleAddFriendship(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := pl.Connect(stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance); err != nil {
+	var err error
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		err = pl.ConnectCtx(r.Context(), stgq.PersonID(req.A), stgq.PersonID(req.B), req.Distance)
+	})
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.noteWriteSeq(w)
-	writeJSON(w, http.StatusOK, struct{}{})
+	reply(w, r, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) {
@@ -419,12 +429,16 @@ func (s *Server) handleRemoveFriendship(w http.ResponseWriter, r *http.Request) 
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := pl.Disconnect(stgq.PersonID(req.A), stgq.PersonID(req.B)); err != nil {
+	var err error
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		err = pl.DisconnectCtx(r.Context(), stgq.PersonID(req.A), stgq.PersonID(req.B))
+	})
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.noteWriteSeq(w)
-	writeJSON(w, http.StatusOK, struct{}{})
+	reply(w, r, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
@@ -437,17 +451,19 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var err error
-	if req.Available {
-		err = pl.SetAvailable(stgq.PersonID(req.Person), req.From, req.To)
-	} else {
-		err = pl.SetBusy(stgq.PersonID(req.Person), req.From, req.To)
-	}
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		if req.Available {
+			err = pl.SetAvailableCtx(r.Context(), stgq.PersonID(req.Person), req.From, req.To)
+		} else {
+			err = pl.SetBusyCtx(r.Context(), stgq.PersonID(req.Person), req.From, req.To)
+		}
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.noteWriteSeq(w)
-	writeJSON(w, http.StatusOK, struct{}{})
+	reply(w, r, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
@@ -464,12 +480,15 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := pl.SetSchedulePolicy(stgq.PersonID(req.Person), policy); err != nil {
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		err = pl.SetSchedulePolicyCtx(r.Context(), stgq.PersonID(req.Person), policy)
+	})
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.noteWriteSeq(w)
-	writeJSON(w, http.StatusOK, struct{}{})
+	reply(w, r, http.StatusOK, struct{}{})
 }
 
 func parseAlgorithm(name string) (stgq.Algorithm, error) {
@@ -497,15 +516,18 @@ func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.planner().FindGroup(stgq.SGQuery{
-		Initiator: stgq.PersonID(req.Initiator),
-		P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+	var res *stgq.GroupResult
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		res, err = s.planner().FindGroup(stgq.SGQuery{
+			Initiator: stgq.PersonID(req.Initiator),
+			P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+		})
 	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toGroupResponse(res))
+	reply(w, r, http.StatusOK, toGroupResponse(res))
 }
 
 func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
@@ -521,18 +543,21 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	plan, err := s.planner().PlanActivity(stgq.STGQuery{
-		SGQuery: stgq.SGQuery{
-			Initiator: stgq.PersonID(req.Initiator),
-			P:         req.P, S: req.S, K: req.K, Algorithm: alg,
-		},
-		M: req.M,
+	var plan *stgq.PlanResult
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		plan, err = s.planner().PlanActivity(stgq.STGQuery{
+			SGQuery: stgq.SGQuery{
+				Initiator: stgq.PersonID(req.Initiator),
+				P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+			},
+			M: req.M,
+		})
 	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{
+	reply(w, r, http.StatusOK, PlanResponse{
 		GroupResponse: toGroupResponse(&plan.GroupResult),
 		WindowStart:   plan.Window.Start,
 		WindowEnd:     plan.Window.End,
@@ -548,12 +573,16 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	plan, err := s.planner().PlanManually(stgq.STGQuery{
-		SGQuery: stgq.SGQuery{
-			Initiator: stgq.PersonID(req.Initiator),
-			P:         req.P, S: req.S, K: req.K,
-		},
-		M: req.M,
+	var plan *stgq.ManualPlan
+	var err error
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		plan, err = s.planner().PlanManually(stgq.STGQuery{
+			SGQuery: stgq.SGQuery{
+				Initiator: stgq.PersonID(req.Initiator),
+				P:         req.P, S: req.S, K: req.K,
+			},
+			M: req.M,
+		})
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -563,7 +592,7 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 	for i, m := range plan.Members {
 		members[i] = MemberJSON{ID: int(m.ID), Name: m.Name, Distance: m.Distance}
 	}
-	writeJSON(w, http.StatusOK, ManualResponse{
+	reply(w, r, http.StatusOK, ManualResponse{
 		GroupResponse: GroupResponse{Members: members, TotalDistance: plan.TotalDistance},
 		WindowStart:   plan.Window.Start,
 		WindowEnd:     plan.Window.End,
@@ -702,6 +731,7 @@ func toGroupResponse(res *stgq.GroupResult) GroupResponse {
 const maxBodyBytes = 64 << 10
 
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	defer obsv.StagesFrom(r.Context()).Time("svc_decode")()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
@@ -709,6 +739,38 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 		return false
 	}
 	return true
+}
+
+// timeEngine attributes fn's duration to the svc_engine stage, exclusive
+// of any journal_ stages fn records inside it (the durable-commit wait a
+// mutation spends inside the planner call belongs to the journal, not
+// the engine).
+func timeEngine(st *obsv.Stages, fn func()) {
+	jBefore := st.Sum("journal_")
+	t0 := time.Now()
+	fn()
+	st.Add("svc_engine", (time.Since(t0) - time.Duration((st.Sum("journal_")-jBefore)*float64(time.Second))).Seconds())
+}
+
+// reply renders a success response with stage attribution: the JSON
+// encoding is timed as svc_encode and the request's collected stages are
+// rendered into the X-STGQ-Server-Timing header — encode-first, because
+// headers must precede the body.
+func reply(w http.ResponseWriter, r *http.Request, status int, v any) {
+	st := obsv.StagesFrom(r.Context())
+	t0 := time.Now()
+	buf, err := json.Marshal(v)
+	st.AddDuration("svc_encode", time.Since(t0))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "encode: " + err.Error()})
+		return
+	}
+	if hv := st.HeaderValue(); hv != "" {
+		w.Header().Set(obsv.ServerTimingHeader, hv)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
 }
 
 func writeErr(w http.ResponseWriter, err error) {

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/obsv"
+)
+
+// TestServerTimingStages: a durable mutation response carries the
+// X-STGQ-Server-Timing breakdown (decode, engine, encode, and the
+// journal's enqueue/fsync/ack split), a query response carries the
+// query-side stages, and /status aggregates them per stage.
+func TestServerTimingStages(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir, journal.Options{HorizonSlots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(NewWithStore(st))
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		return resp
+	}
+
+	resp := post("/people", `{"name":"ana"}`)
+	stages := obsv.ParseServerTiming(resp.Header.Values(obsv.ServerTimingHeader))
+	for _, want := range []string{
+		"svc_decode", "svc_engine", "svc_encode",
+		"journal_enqueue", "journal_fsync", "journal_ack",
+	} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("mutation response missing stage %q in %v", want, stages)
+		}
+	}
+	// The journal split is disjoint by construction, so its pieces cannot
+	// exceed the whole mutation's engine+journal share; sanity-check each
+	// stage is a plausible sub-second duration, not garbage.
+	for name, sec := range stages {
+		if sec < 0 || sec > 60 || math.IsNaN(sec) {
+			t.Errorf("stage %s = %v seconds", name, sec)
+		}
+	}
+
+	post("/people", `{"name":"ben"}`)
+	post("/friendships", `{"a":0,"b":1,"distance":2}`)
+	resp = post("/query/group", `{"initiator":0,"p":2,"s":1,"k":1}`)
+	stages = obsv.ParseServerTiming(resp.Header.Values(obsv.ServerTimingHeader))
+	for _, want := range []string{"svc_decode", "svc_engine", "svc_encode"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("query response missing stage %q in %v", want, stages)
+		}
+	}
+	if _, ok := stages["journal_fsync"]; ok {
+		t.Errorf("query response should not carry journal stages: %v", stages)
+	}
+
+	// /status aggregates the same stages as summaries.
+	sresp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var status StatusResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Metrics == nil || len(status.Metrics.Stages) == 0 {
+		t.Fatal("/status missing stage summaries")
+	}
+	sum, ok := status.Metrics.Stages["svc_engine"]
+	if !ok || sum.Count == 0 {
+		t.Fatalf("svc_engine summary missing or empty: %+v", status.Metrics.Stages)
+	}
+}

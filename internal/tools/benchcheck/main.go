@@ -1,40 +1,52 @@
 // Command benchcheck validates the benchmark reports that make bench /
-// bench-smoke leave in the repo root (BENCH_journal.json,
-// BENCH_gateway.json) before CI archives them: each file must parse as an
-// obsv.BenchReport, name its benchmark, carry a positive ns/op, and hold
-// at least one histogram metric with observations — a report whose
-// histograms are all empty means the instrumentation was disconnected
-// from the code path the benchmark exercises, which is exactly the
-// regression the smoke run exists to catch.
+// bench-smoke / load-smoke leave in the repo root (BENCH_journal.json,
+// BENCH_gateway.json, BENCH_load.json) before CI archives them: each
+// file must parse as an obsv.BenchReport, name its benchmark, carry a
+// positive ns/op, and hold at least one histogram metric with
+// observations — a report whose histograms are all empty means the
+// instrumentation was disconnected from the code path the benchmark
+// exercises, which is exactly the regression the smoke run exists to
+// catch.
+//
+// With -baseline it additionally compares each report against the
+// committed baseline of the same name and fails when ns/op regressed
+// beyond the tolerance — the tracked perf trajectory. Baselines are
+// refreshed deliberately with -update (after a run on the reference
+// machine), never implicitly.
 //
 // Usage:
 //
 //	go run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json
+//	go run ./internal/tools/benchcheck -baseline bench/baseline BENCH_load.json
+//	go run ./internal/tools/benchcheck -baseline bench/baseline -update BENCH_load.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/obsv"
 )
 
-// checkReport validates one emitted report file.
-func checkReport(path string) error {
+// checkReport validates one emitted report file and returns the parsed
+// report for baseline comparison.
+func checkReport(path string) (*obsv.BenchReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rep obsv.BenchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return fmt.Errorf("%s: parse: %w", path, err)
+		return nil, fmt.Errorf("%s: parse: %w", path, err)
 	}
 	if rep.Benchmark == "" {
-		return fmt.Errorf("%s: missing benchmark name", path)
+		return nil, fmt.Errorf("%s: missing benchmark name", path)
 	}
 	if rep.NsPerOp <= 0 {
-		return fmt.Errorf("%s: ns/op is %v, want > 0", path, rep.NsPerOp)
+		return nil, fmt.Errorf("%s: ns/op is %v, want > 0", path, rep.NsPerOp)
 	}
 	histograms, observed := 0, 0
 	for name, m := range rep.Metrics {
@@ -51,41 +63,136 @@ func checkReport(path string) error {
 		var prev uint64
 		for _, b := range m.Buckets {
 			if b.Count < prev {
-				return fmt.Errorf("%s: metric %s: bucket le=%s count %d below previous %d",
+				return nil, fmt.Errorf("%s: metric %s: bucket le=%s count %d below previous %d",
 					path, name, b.LE, b.Count, prev)
 			}
 			prev = b.Count
 		}
 		if len(m.Buckets) == 0 || prev != m.Count {
-			return fmt.Errorf("%s: metric %s: +Inf bucket holds %d, want count %d",
+			return nil, fmt.Errorf("%s: metric %s: +Inf bucket holds %d, want count %d",
 				path, name, prev, m.Count)
 		}
 	}
 	if histograms == 0 {
-		return fmt.Errorf("%s: no histogram metrics in snapshot", path)
+		return nil, fmt.Errorf("%s: no histogram metrics in snapshot", path)
 	}
 	if observed == 0 {
-		return fmt.Errorf("%s: all %d histograms are empty (instrumentation disconnected from the benchmarked path?)",
+		return nil, fmt.Errorf("%s: all %d histograms are empty (instrumentation disconnected from the benchmarked path?)",
 			path, histograms)
 	}
 	fmt.Printf("benchcheck: %s ok (%s, %.0f ns/op, %d/%d histograms populated)\n",
 		path, rep.Benchmark, rep.NsPerOp, observed, histograms)
+	return &rep, nil
+}
+
+// compareBaseline checks rep against the baseline of the same file name
+// in baselineDir. A missing baseline is a skip (reported, not fatal):
+// a new benchmark has no trajectory yet until -update records one.
+// A regression beyond tolerance is an error; an improvement beyond it
+// is reported as a hint to re-baseline, but passes.
+func compareBaseline(path string, rep *obsv.BenchReport, baselineDir string, tolerance float64) error {
+	bpath := filepath.Join(baselineDir, filepath.Base(path))
+	data, err := os.ReadFile(bpath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchcheck: %s: no baseline at %s (run with -update to record one)\n", path, bpath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base obsv.BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: parse baseline: %w", bpath, err)
+	}
+	if base.Benchmark != rep.Benchmark {
+		return fmt.Errorf("%s: benchmark %q does not match baseline's %q (stale baseline in %s?)",
+			path, rep.Benchmark, base.Benchmark, baselineDir)
+	}
+	if base.NsPerOp <= 0 {
+		return fmt.Errorf("%s: baseline ns/op is %v, want > 0", bpath, base.NsPerOp)
+	}
+	ratio := rep.NsPerOp / base.NsPerOp
+	switch {
+	case ratio > 1+tolerance:
+		return fmt.Errorf("%s: PERF REGRESSION: %.0f ns/op vs baseline %.0f (%.1f%% slower, tolerance %.0f%%)",
+			path, rep.NsPerOp, base.NsPerOp, 100*(ratio-1), 100*tolerance)
+	case ratio < 1-tolerance:
+		fmt.Printf("benchcheck: %s improved: %.0f ns/op vs baseline %.0f (%.1f%% faster — consider -update)\n",
+			path, rep.NsPerOp, base.NsPerOp, 100*(1-ratio))
+	default:
+		fmt.Printf("benchcheck: %s within baseline: %.0f ns/op vs %.0f (%+.1f%%, tolerance %.0f%%)\n",
+			path, rep.NsPerOp, base.NsPerOp, 100*(ratio-1), 100*tolerance)
+	}
 	return nil
 }
 
-func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_*.json ...")
-		os.Exit(2)
+// updateBaseline copies the validated report into baselineDir as the new
+// trajectory point.
+func updateBaseline(path string, baselineDir string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(baselineDir, 0o755); err != nil {
+		return err
+	}
+	bpath := filepath.Join(baselineDir, filepath.Base(path))
+	if err := os.WriteFile(bpath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchcheck: baseline %s updated\n", bpath)
+	return nil
+}
+
+// run is main minus the exit code, so tests can drive it.
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "baseline directory to compare ns/op against (empty: schema checks only)")
+	tolerance := fs.Float64("tolerance", 0.2, "allowed ns/op regression vs baseline as a fraction (0.2 = 20%)")
+	update := fs.Bool("update", false, "record the validated reports as the new baselines instead of comparing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: benchcheck [-baseline DIR [-tolerance 0.2] [-update]] BENCH_*.json ...")
+		return 2
+	}
+	if *update && *baseline == "" {
+		fmt.Fprintln(stderr, "benchcheck: -update requires -baseline")
+		return 2
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchcheck: negative -tolerance")
+		return 2
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := checkReport(path); err != nil {
-			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	for _, path := range fs.Args() {
+		rep, err := checkReport(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		if *baseline == "" {
+			continue
+		}
+		if *update {
+			err = updateBaseline(path, *baseline)
+		} else {
+			err = compareBaseline(path, rep, *baseline, *tolerance)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcheck: %v\n", err)
 			failed = true
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// writeReport emits a minimal valid BenchReport file with the given
+// ns/op and returns its path.
+func writeReport(t *testing.T, dir, name string, nsPerOp float64) string {
+	t.Helper()
+	rep := obsv.BenchReport{
+		Benchmark: "bench/test",
+		NsPerOp:   nsPerOp,
+		Metrics: map[string]obsv.Snapshot{
+			"x_seconds": {
+				Type:  "histogram",
+				Count: 2,
+				Sum:   0.5,
+				Buckets: []obsv.Bucket{
+					{LE: "0.1", Count: 1},
+					{LE: "+Inf", Count: 2},
+				},
+			},
+		},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSchemaValidation pins the schema-only mode: a valid report passes,
+// structural defects fail.
+func TestSchemaValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "BENCH_good.json", 1000)
+	if code := run([]string{good}, os.Stderr); code != 0 {
+		t.Errorf("valid report: exit %d, want 0", code)
+	}
+
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"benchmark":"b","ns_per_op":0,"metrics":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, os.Stderr); code != 1 {
+		t.Errorf("zero ns/op report: exit %d, want 1", code)
+	}
+
+	if code := run(nil, os.Stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+}
+
+// TestBaselineRegressionDetection is the satellite acceptance test: an
+// injected 50% ns/op regression against a committed baseline fails the
+// check at the default 20% tolerance, while a within-tolerance drift and
+// an improvement pass.
+func TestBaselineRegressionDetection(t *testing.T) {
+	dir := t.TempDir()
+	baselineDir := filepath.Join(dir, "baseline")
+
+	// Record the baseline at 1000 ns/op.
+	base := writeReport(t, dir, "BENCH_x.json", 1000)
+	if code := run([]string{"-baseline", baselineDir, "-update", base}, os.Stderr); code != 0 {
+		t.Fatalf("baseline update: exit %d, want 0", code)
+	}
+
+	// Injected regression: 1500 ns/op is 50% over the 1000 baseline.
+	writeReport(t, dir, "BENCH_x.json", 1500)
+	if code := run([]string{"-baseline", baselineDir, base}, os.Stderr); code != 1 {
+		t.Errorf("50%% regression at default tolerance: exit %d, want 1", code)
+	}
+
+	// The same run passes when the operator widens the tolerance past it.
+	if code := run([]string{"-baseline", baselineDir, "-tolerance", "0.6", base}, os.Stderr); code != 0 {
+		t.Errorf("50%% regression at 60%% tolerance: exit %d, want 0", code)
+	}
+
+	// Within-tolerance drift passes.
+	writeReport(t, dir, "BENCH_x.json", 1100)
+	if code := run([]string{"-baseline", baselineDir, base}, os.Stderr); code != 0 {
+		t.Errorf("10%% drift: exit %d, want 1", code)
+	}
+
+	// An improvement passes (and only hints at re-baselining).
+	writeReport(t, dir, "BENCH_x.json", 400)
+	if code := run([]string{"-baseline", baselineDir, base}, os.Stderr); code != 0 {
+		t.Errorf("improvement: exit %d, want 0", code)
+	}
+}
+
+// TestBaselineMismatchAndMissing pins the edge cases: a missing baseline
+// is a skip, a benchmark-name mismatch is an error, -update without
+// -baseline is a usage error.
+func TestBaselineMismatchAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	baselineDir := filepath.Join(dir, "baseline")
+	rep := writeReport(t, dir, "BENCH_y.json", 1000)
+
+	// No baseline recorded yet: schema check passes, comparison skipped.
+	if code := run([]string{"-baseline", baselineDir, rep}, os.Stderr); code != 0 {
+		t.Errorf("missing baseline: exit %d, want 0 (skip)", code)
+	}
+
+	// A baseline from a different benchmark must not be compared against.
+	if err := os.MkdirAll(baselineDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	other := []byte(`{"benchmark":"bench/other","ns_per_op":1000,"metrics":{}}`)
+	if err := os.WriteFile(filepath.Join(baselineDir, "BENCH_y.json"), other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", baselineDir, rep}, os.Stderr); code != 1 {
+		t.Errorf("benchmark mismatch: exit %d, want 1", code)
+	}
+
+	if code := run([]string{"-update", rep}, os.Stderr); code != 2 {
+		t.Errorf("-update without -baseline: exit %d, want 2", code)
+	}
+}

@@ -32,6 +32,7 @@ var checkedPackages = []string{
 	"internal/gateway",
 	"internal/replica",
 	"internal/journal",
+	"internal/loadgen",
 	"internal/obsv",
 	"internal/service",
 }

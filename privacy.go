@@ -1,6 +1,7 @@
 package stgq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/schedule"
@@ -60,6 +61,12 @@ func ParseSharePolicy(s string) (SharePolicy, error) {
 // journaled (MutSetPolicy) like every other mutation, so policies survive
 // restarts and replicate to followers.
 func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
+	return pl.SetSchedulePolicyCtx(context.Background(), p, policy)
+}
+
+// SetSchedulePolicyCtx is SetSchedulePolicy with a caller context for the
+// mutation hook.
+func (pl *Planner) SetSchedulePolicyCtx(ctx context.Context, p PersonID, policy SharePolicy) error {
 	pl.mu.Lock()
 	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
 		pl.mu.Unlock()
@@ -77,7 +84,7 @@ func (pl *Planner) SetSchedulePolicy(p PersonID, policy SharePolicy) error {
 	} else {
 		pl.policies[p] = policy
 	}
-	wait := pl.notifyLocked(Mutation{Op: MutSetPolicy, Person: p, Policy: policy})
+	wait := pl.notifyLocked(ctx, Mutation{Op: MutSetPolicy, Person: p, Policy: policy})
 	pl.mu.Unlock()
 	if wait != nil {
 		return wait()

@@ -106,6 +106,7 @@
 package stgq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -187,7 +188,13 @@ type Mutation struct {
 // correctly and still batch syncs: sequence numbers are assigned under the
 // planner lock (so journal order equals apply order), while the wait for
 // group commit happens outside it (so concurrent writers' syncs coalesce).
-type MutationHook func(m Mutation) (wait func() error)
+//
+// ctx is the caller's request context as passed to the Ctx mutation
+// variants (context.Background() from the plain variants). Hooks use it
+// for request-scoped attribution — e.g. recording journal stage timings
+// into an obsv.Stages carried by the context — not for cancellation: a
+// mutation already applied in memory must still be journaled.
+type MutationHook func(ctx context.Context, m Mutation) (wait func() error)
 
 // Planner is the activity-planning service: a social graph plus the
 // members' availability calendars. It is the entry point of the public API.
@@ -266,11 +273,11 @@ func (pl *Planner) SetMutationHook(h MutationHook) {
 
 // notifyLocked runs the hook for m under the held write lock and returns
 // the hook's wait function (nil without a hook).
-func (pl *Planner) notifyLocked(m Mutation) func() error {
+func (pl *Planner) notifyLocked(ctx context.Context, m Mutation) func() error {
 	if pl.hook == nil {
 		return nil
 	}
-	return pl.hook(m)
+	return pl.hook(ctx, m)
 }
 
 // MaxNameLen bounds display names (in bytes). Keeping names bounded here
@@ -284,6 +291,12 @@ const MaxNameLen = 1 << 16
 // name exceeds MaxNameLen (nothing is registered) or when a mutation hook
 // fails to make the addition durable.
 func (pl *Planner) AddPerson(name string) (PersonID, error) {
+	return pl.AddPersonCtx(context.Background(), name)
+}
+
+// AddPersonCtx is AddPerson with a caller context for the mutation hook
+// (request-scoped attribution; see MutationHook).
+func (pl *Planner) AddPersonCtx(ctx context.Context, name string) (PersonID, error) {
 	if len(name) > MaxNameLen {
 		return 0, fmt.Errorf("%w: name of %d bytes exceeds %d", ErrBadQuery, len(name), MaxNameLen)
 	}
@@ -294,7 +307,7 @@ func (pl *Planner) AddPerson(name string) (PersonID, error) {
 		id, _ = pl.g.AddVertex("")
 	}
 	pl.calDirty = true
-	wait := pl.notifyLocked(Mutation{Op: MutAddPerson, Name: name, Person: PersonID(id)})
+	wait := pl.notifyLocked(ctx, Mutation{Op: MutAddPerson, Name: name, Person: PersonID(id)})
 	pl.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {
@@ -333,11 +346,16 @@ func (pl *Planner) Name(p PersonID) string {
 // distance (> 0; smaller = closer). Reconnecting keeps the smaller
 // distance.
 func (pl *Planner) Connect(a, b PersonID, distance float64) error {
+	return pl.ConnectCtx(context.Background(), a, b, distance)
+}
+
+// ConnectCtx is Connect with a caller context for the mutation hook.
+func (pl *Planner) ConnectCtx(ctx context.Context, a, b PersonID, distance float64) error {
 	pl.mu.Lock()
 	err := pl.g.AddEdge(int(a), int(b), distance)
 	var wait func() error
 	if err == nil {
-		wait = pl.notifyLocked(Mutation{Op: MutConnect, A: a, B: b, Distance: distance})
+		wait = pl.notifyLocked(ctx, Mutation{Op: MutConnect, A: a, B: b, Distance: distance})
 	}
 	pl.mu.Unlock()
 	if err != nil {
@@ -365,11 +383,16 @@ func mapVertexErr(err error) error {
 // Disconnect removes the friendship between a and b. Disconnecting people
 // who are not connected is an error.
 func (pl *Planner) Disconnect(a, b PersonID) error {
+	return pl.DisconnectCtx(context.Background(), a, b)
+}
+
+// DisconnectCtx is Disconnect with a caller context for the mutation hook.
+func (pl *Planner) DisconnectCtx(ctx context.Context, a, b PersonID) error {
 	pl.mu.Lock()
 	err := pl.g.RemoveEdge(int(a), int(b))
 	var wait func() error
 	if err == nil {
-		wait = pl.notifyLocked(Mutation{Op: MutDisconnect, A: a, B: b})
+		wait = pl.notifyLocked(ctx, Mutation{Op: MutDisconnect, A: a, B: b})
 	}
 	pl.mu.Unlock()
 	if err != nil {
@@ -383,15 +406,26 @@ func (pl *Planner) Disconnect(a, b PersonID) error {
 
 // SetAvailable marks person p free over slot range [from, to).
 func (pl *Planner) SetAvailable(p PersonID, from, to int) error {
-	return pl.setRange(p, from, to, true)
+	return pl.setRange(context.Background(), p, from, to, true)
+}
+
+// SetAvailableCtx is SetAvailable with a caller context for the mutation
+// hook.
+func (pl *Planner) SetAvailableCtx(ctx context.Context, p PersonID, from, to int) error {
+	return pl.setRange(ctx, p, from, to, true)
 }
 
 // SetBusy marks person p busy over slot range [from, to).
 func (pl *Planner) SetBusy(p PersonID, from, to int) error {
-	return pl.setRange(p, from, to, false)
+	return pl.setRange(context.Background(), p, from, to, false)
 }
 
-func (pl *Planner) setRange(p PersonID, from, to int, free bool) error {
+// SetBusyCtx is SetBusy with a caller context for the mutation hook.
+func (pl *Planner) SetBusyCtx(ctx context.Context, p PersonID, from, to int) error {
+	return pl.setRange(ctx, p, from, to, false)
+}
+
+func (pl *Planner) setRange(ctx context.Context, p PersonID, from, to int, free bool) error {
 	pl.mu.Lock()
 	if int(p) < 0 || int(p) >= pl.g.NumVertices() {
 		pl.mu.Unlock()
@@ -407,7 +441,7 @@ func (pl *Planner) setRange(p PersonID, from, to int, free bool) error {
 	if free {
 		op = MutSetAvailable
 	}
-	wait := pl.notifyLocked(Mutation{Op: op, Person: p, From: from, To: to})
+	wait := pl.notifyLocked(ctx, Mutation{Op: op, Person: p, From: from, To: to})
 	pl.mu.Unlock()
 	if wait != nil {
 		return wait()

@@ -2,6 +2,7 @@ package stgq_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -285,7 +286,7 @@ func TestMutationHook(t *testing.T) {
 	pl := stgq.NewPlanner(8)
 	var seen []stgq.Mutation
 	var waits int
-	pl.SetMutationHook(func(m stgq.Mutation) func() error {
+	pl.SetMutationHook(func(_ context.Context, m stgq.Mutation) func() error {
 		seen = append(seen, m)
 		return func() error { waits++; return nil }
 	})
@@ -328,7 +329,7 @@ func TestMutationHook(t *testing.T) {
 
 	// A failing wait propagates to the mutator.
 	wantErr := errors.New("fsync exploded")
-	pl.SetMutationHook(func(stgq.Mutation) func() error {
+	pl.SetMutationHook(func(context.Context, stgq.Mutation) func() error {
 		return func() error { return wantErr }
 	})
 	if _, err := pl.AddPerson("c"); !errors.Is(err, wantErr) {
