@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check bench-regress bench-rebaseline load-smoke race e2e-failover e2e-ryw docs-check
+.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check bench-regress bench-rebaseline load-smoke race e2e-failover e2e-ryw e2e-geo docs-check
 
 # Benchmark reports (BENCH_journal.json, BENCH_gateway.json) land in the
 # repo root regardless of each test binary's working directory; the
@@ -35,19 +35,21 @@ bench:
 	$(BENCH_ENV) $(GO) test -bench=. -benchmem -run=^$$ ./...
 	$(MAKE) bench-check
 
-# One-iteration smoke of the hot write and proxy paths: catches a broken
-# journal append or gateway proxy pipeline at build time without the cost
-# of a real benchmark run. Leaves validated BENCH_journal.json and
-# BENCH_gateway.json in the repo root (CI archives them as artifacts).
+# One-iteration smoke of the hot write, proxy and spatial-index paths:
+# catches a broken journal append, gateway proxy pipeline or grid query at
+# build time without the cost of a real benchmark run. Leaves validated
+# BENCH_journal.json, BENCH_gateway.json and BENCH_geo.json in the repo
+# root (CI archives them as artifacts).
 bench-smoke:
 	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
 	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway
+	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkGeoGrid$$' -benchtime=1x ./internal/geo
 	$(MAKE) bench-check
 
 # Validate the emitted benchmark reports: parseable, named, positive
 # ns/op, at least one populated histogram each.
 bench-check:
-	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json
+	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json BENCH_geo.json
 
 # A ≤30s closed-loop load run against an in-process 3-node cluster
 # (leader, two followers, gateway): cmd/stgqload drives the mixed
@@ -65,13 +67,13 @@ load-smoke:
 # committed baselines in bench/baseline at the default 20% tolerance.
 bench-regress:
 	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline \
-		BENCH_journal.json BENCH_gateway.json BENCH_load.json
+		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_load.json
 
 # Refresh the committed baselines from the current reports (run on the
 # reference machine after a deliberate perf change; commit the result).
 bench-rebaseline:
 	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline -update \
-		BENCH_journal.json BENCH_gateway.json BENCH_load.json
+		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_load.json
 
 # The leader-kill acceptance scenario: auto-failover promotes a follower,
 # writes resume at the new epoch with zero acknowledged loss, and the
@@ -90,6 +92,15 @@ e2e-failover:
 # uncached (-count=1), verbose handle for CI and operators.
 e2e-ryw:
 	$(GO) test -run='^TestGatewayReadYourWrites$$' -count=1 -v ./internal/gateway
+
+# The geo-social acceptance scenario: location mutations through the
+# gateway are visible to floored GSGSelect reads served from the replica
+# tier (the grid-pruned == brute-force differential lives in
+# internal/core's tests). Also runs inside plain `make test` (it only
+# skips under -short); this target is the explicit, uncached (-count=1),
+# verbose handle for CI and operators.
+e2e-geo:
+	$(GO) test -run='^TestGatewayGeoSocial$$' -count=1 -v ./internal/gateway
 
 # Documentation gate: every exported identifier in the cluster packages
 # (gateway, replica, journal, service) carries a doc comment, and every

@@ -1,5 +1,8 @@
 // Command stgqgen generates the datasets of the paper's evaluation and
-// writes them as JSON for use with cmd/stgq.
+// writes them as JSON for use with cmd/stgq. Generated populations are
+// geo-aware: every person carries an (x, y) location in meters on a flat
+// local plane, clustered by community, so the datasets feed GSGSelect
+// (geo-social) queries as well as SGQ/STGQ.
 //
 // Usage:
 //
@@ -73,8 +76,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stgqgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "stgqgen: wrote %d people, %d friendships, %d slots\n",
-		d.Graph.NumVertices(), d.Graph.NumEdges(), d.Cal.Horizon())
+	fmt.Fprintf(os.Stderr, "stgqgen: wrote %d people, %d friendships, %d slots, %d locations\n",
+		d.Graph.NumVertices(), d.Graph.NumEdges(), d.Cal.Horizon(), len(d.Locations))
 	if *stats {
 		fmt.Fprint(os.Stderr, netstats.Describe(d))
 	}

@@ -1,5 +1,5 @@
 // Command stgqload is the production load harness: it drives a mixed
-// SGSelect/STGSelect/mutation/session-read workload against a cluster
+// SGSelect/STGSelect/GSGSelect/mutation/session-read workload against a cluster
 // gateway — or an in-process leader/followers/gateway topology it boots
 // itself — and writes BENCH_load.json with throughput, per-class
 // p50/p99/p999 latency, and the per-stage latency attribution parsed

@@ -37,6 +37,17 @@ type engine struct {
 
 	tmp *temporalState // nil when solving SGQ
 
+	// spat, when non-nil, holds each vertex's spatial distance to the
+	// activity point (GSGSelect); the optimized per-vertex cost becomes
+	// rg.Dist[v] + spat[v]. nil leaves the social-only paths untouched.
+	spat []float64
+	// minCost is the minimum combined cost over the initial VA, captured
+	// by reset when spat is set. Lemma-2 distance pruning uses it in place
+	// of the first-of-VA shortcut: vertices are indexed in ascending
+	// *social* distance, an ordering the spatial term breaks. The static
+	// minimum stays a sound lower bound as VA only ever shrinks.
+	minCost float64
+
 	// sharedBound, when non-nil, supplies the best total distance known to
 	// any concurrent worker (STGSelectParallel); distance pruning uses the
 	// tighter of the local and shared incumbents.
@@ -157,6 +168,24 @@ func (e *engine) reset(eligible *bitset.Set) {
 			e.nbrInVA[0]++
 		}
 	}
+	if e.spat != nil {
+		e.minCost = math.Inf(1)
+		for v := e.va.NextSet(0); v != -1; v = e.va.NextSet(v + 1) {
+			if c := e.cost(v); c < e.minCost {
+				e.minCost = c
+			}
+		}
+	}
+}
+
+// cost is the per-vertex contribution to the optimized total: the social
+// distance alone, or social + spatial when a GSGSelect activity point is
+// in play.
+func (e *engine) cost(v int) float64 {
+	if e.spat == nil {
+		return e.rg.Dist[v]
+	}
+	return e.rg.Dist[v] + e.spat[v]
 }
 
 // --- incremental state transitions -------------------------------------
@@ -167,7 +196,7 @@ func (e *engine) moveToVS(u int) {
 	e.vs.Add(u)
 	e.vsList = append(e.vsList, u)
 	e.vsCount++
-	e.td += e.rg.Dist[u]
+	e.td += e.cost(u)
 	for _, w := range e.rg.Adj[u] {
 		e.nbrInVS[w]++
 	}
@@ -197,7 +226,7 @@ func (e *engine) undoMoveToVS(u int) {
 	e.vs.Remove(u)
 	e.vsList = e.vsList[:len(e.vsList)-1]
 	e.vsCount--
-	e.td -= e.rg.Dist[u]
+	e.td -= e.cost(u)
 	e.attachToVA(u)
 }
 
@@ -361,8 +390,14 @@ func (e *engine) pruneFrame() bool {
 				}
 			}
 			// Vertices are indexed in ascending distance, so the first VA
-			// member has the minimum distance.
-			if bound-e.td < float64(need)*e.rg.Dist[first] {
+			// member has the minimum distance — unless a spatial term is
+			// folded in, in which case the reset-time minimum over the
+			// initial VA is the sound substitute (see minCost).
+			minCost := e.rg.Dist[first]
+			if e.spat != nil {
+				minCost = e.minCost
+			}
+			if bound-e.td < float64(need)*minCost {
 				e.stats.DistancePrunes++
 				return true
 			}
@@ -449,7 +484,7 @@ func (e *engine) availabilityPrune(need int) bool {
 // has already established feasibility: at full size the interior condition
 // is exactly U ≤ k and the temporal condition is exactly X ≥ 0.
 func (e *engine) record(u int) {
-	total := e.td + e.rg.Dist[u]
+	total := e.td + e.cost(u)
 	if total >= e.bestDist {
 		return
 	}

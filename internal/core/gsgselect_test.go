@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/geo"
+	"repro/internal/schedule"
+)
+
+// bruteGSGQ enumerates every candidate group over the spatially eligible
+// vertices (spat[v] >= 0) minimizing Σ (social + spatial) distance; with
+// m >= 1 it additionally scans every m-slot activity period. It is the
+// oracle GSGSelect is checked against.
+func bruteGSGQ(rg interface {
+	N() int
+	GroupFeasible(*bitset.Set, int) bool
+}, dist, spat []float64, avail func(v, start int) bool, horizon, p, k, m int) float64 {
+	n := rg.N()
+	best := math.Inf(1)
+	enumerate := func(eligible *bitset.Set) {
+		if !eligible.Contains(0) || eligible.Count() < p {
+			return
+		}
+		members := bitset.New(n)
+		members.Add(0)
+		var rec func(next, chosen int, d float64)
+		rec = func(next, chosen int, d float64) {
+			if chosen == p {
+				if d < best && rg.GroupFeasible(members, k) {
+					best = d
+				}
+				return
+			}
+			for v := next; v < n; v++ {
+				if !eligible.Contains(v) {
+					continue
+				}
+				members.Add(v)
+				rec(v+1, chosen+1, d+dist[v]+spat[v])
+				members.Remove(v)
+			}
+		}
+		rec(1, 1, 0)
+	}
+
+	spatial := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if spat[v] >= 0 {
+			spatial.Add(v)
+		}
+	}
+	if m == 0 {
+		enumerate(spatial)
+		return best
+	}
+	for start := 0; start+m <= horizon; start++ {
+		eligible := spatial.Clone()
+		for v := 0; v < n; v++ {
+			if eligible.Contains(v) && !avail(v, start) {
+				eligible.Remove(v)
+			}
+		}
+		enumerate(eligible)
+	}
+	return best
+}
+
+// randomSpat assigns spatial distances: some vertices have no location
+// (-1), the rest get a random distance to the activity point.
+func randomSpat(r *rand.Rand, n int) []float64 {
+	spat := make([]float64, n)
+	for v := range spat {
+		if r.Float64() < 0.25 {
+			spat[v] = -1 // no location / outside radius
+		} else {
+			spat[v] = r.Float64() * 30
+		}
+	}
+	return spat
+}
+
+// TestQuickGSGSelectMatchesBruteForce checks the purely geo-social path
+// (m = 0): GSGSelect's combined-cost optimum equals exhaustive
+// enumeration over the spatially eligible vertices.
+func TestQuickGSGSelectMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(6)
+		rg := randomRadiusGraph(r, n, 0.25+r.Float64()*0.5, 1+r.Intn(2))
+		nn := rg.N()
+		p := 2 + r.Intn(4)
+		k := r.Intn(3)
+		spat := randomSpat(r, nn)
+		want := bruteGSGQ(rg, rg.Dist, spat, nil, 0, p, k, 0)
+		got, _, err := GSGSelect(rg, spat, nil, nil, p, k, 0, DefaultOptions())
+		if err != nil {
+			return errors.Is(err, ErrNoFeasibleGroup) && math.IsInf(want, 1)
+		}
+		if math.Abs(got.TotalDistance-want) > 1e-9 {
+			t.Logf("seed %d: GSGSelect %v, brute %v (p=%d k=%d n=%d)", seed, got.TotalDistance, want, p, k, nn)
+			return false
+		}
+		set := bitset.New(nn)
+		for _, v := range got.Members {
+			if spat[v] < 0 {
+				t.Logf("seed %d: spatially ineligible member %d selected", seed, v)
+				return false
+			}
+			set.Add(v)
+		}
+		return set.Count() == p && set.Contains(0) && rg.GroupFeasible(set, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGSGSelectTemporalMatchesBruteForce checks the full three-way
+// query (m >= 1): spatial eligibility, acquaintance constraint, and the
+// shared m-slot window all at once.
+func TestQuickGSGSelectTemporalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(5)
+		rg := randomRadiusGraph(r, n, 0.3+r.Float64()*0.4, 1+r.Intn(2))
+		nn := rg.N()
+		horizon := 8 + r.Intn(16)
+		m := 2 + r.Intn(3)
+		cal := schedule.NewCalendar(nn, horizon)
+		for u := 0; u < nn; u++ {
+			for s := 0; s < horizon; s++ {
+				if r.Float64() < 0.75 {
+					cal.SetAvailable(u, s)
+				}
+			}
+		}
+		calUser := make([]int, nn)
+		for i := range calUser {
+			calUser[i] = i
+		}
+		p := 2 + r.Intn(3)
+		k := r.Intn(3)
+		spat := randomSpat(r, nn)
+		avail := func(v, start int) bool { return cal.AvailableDuring(calUser[v], start, m) }
+		want := bruteGSGQ(rg, rg.Dist, spat, avail, horizon, p, k, m)
+		got, _, err := GSGSelect(rg, spat, cal, calUser, p, k, m, DefaultOptions())
+		if err != nil {
+			if !errors.Is(err, ErrNoFeasibleGroup) || !math.IsInf(want, 1) {
+				t.Logf("seed %d: err=%v brute=%v", seed, err, want)
+				return false
+			}
+			return true
+		}
+		if math.Abs(got.TotalDistance-want) > 1e-9 {
+			t.Logf("seed %d: GSGSelect %v, brute %v (p=%d k=%d m=%d)", seed, got.TotalDistance, want, p, k, m)
+			return false
+		}
+		if got.Interval.Len() < m {
+			return false
+		}
+		for _, v := range got.Members {
+			if spat[v] < 0 {
+				return false
+			}
+			for s := got.Interval.Start; s <= got.Interval.End; s++ {
+				if !cal.Available(calUser[v], s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGSGSelectGridPruningMatchesBruteForceFilter is the acceptance
+// differential test: building the spat vector by querying a geo.Grid
+// (the serving path) yields exactly the spat vector a brute-force scan
+// over every location yields — and therefore the same GSGSelect answer.
+// The grid's WithinRadius is exact by contract; this pins the contract
+// where the engine consumes it.
+func TestGSGSelectGridPruningMatchesBruteForceFilter(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(8)
+		rg := randomRadiusGraph(r, n, 0.4, 2)
+		nn := rg.N()
+
+		// Locations for a subset of the population, on a few-km plane.
+		grid := geo.NewGrid(250)
+		locs := make(map[int]geo.Point)
+		for v := 0; v < nn; v++ {
+			if r.Float64() < 0.2 {
+				continue // no location
+			}
+			p := geo.Point{X: (r.Float64() - 0.5) * 4000, Y: (r.Float64() - 0.5) * 4000}
+			locs[v] = p
+			grid.Insert(v, p)
+		}
+		center := geo.Point{X: (r.Float64() - 0.5) * 2000, Y: (r.Float64() - 0.5) * 2000}
+		radius := 500 + r.Float64()*2000
+
+		// Serving path: grid prune, then exact distances for survivors.
+		spatGrid := make([]float64, nn)
+		for v := range spatGrid {
+			spatGrid[v] = -1
+		}
+		for _, v := range grid.WithinRadius(center, radius, nil) {
+			spatGrid[v] = locs[v].DistanceTo(center)
+		}
+
+		// Oracle path: brute-force filter over every known location.
+		spatBrute := make([]float64, nn)
+		for v := range spatBrute {
+			spatBrute[v] = -1
+			if p, ok := locs[v]; ok {
+				if d := p.DistanceTo(center); d <= radius {
+					spatBrute[v] = d
+				}
+			}
+		}
+
+		for v := range spatGrid {
+			if spatGrid[v] != spatBrute[v] {
+				t.Fatalf("seed %d: vertex %d spat grid=%v brute=%v", seed, v, spatGrid[v], spatBrute[v])
+			}
+		}
+
+		p := 2 + r.Intn(3)
+		k := r.Intn(3)
+		gGrid, _, errGrid := GSGSelect(rg, spatGrid, nil, nil, p, k, 0, DefaultOptions())
+		gBrute, _, errBrute := GSGSelect(rg, spatBrute, nil, nil, p, k, 0, DefaultOptions())
+		if (errGrid == nil) != (errBrute == nil) {
+			t.Fatalf("seed %d: grid err=%v vs brute err=%v", seed, errGrid, errBrute)
+		}
+		if errGrid != nil {
+			if !errors.Is(errGrid, ErrNoFeasibleGroup) {
+				t.Fatalf("seed %d: unexpected error %v", seed, errGrid)
+			}
+			continue
+		}
+		if gGrid.TotalDistance != gBrute.TotalDistance {
+			t.Fatalf("seed %d: grid optimum %v vs brute optimum %v", seed, gGrid.TotalDistance, gBrute.TotalDistance)
+		}
+	}
+}
+
+// TestGSGSelectValidation pins parameter and feasibility edge cases.
+func TestGSGSelectValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rg := randomRadiusGraph(r, 6, 0.8, 2)
+	nn := rg.N()
+	spat := make([]float64, nn)
+
+	if _, _, err := GSGSelect(rg, spat[:nn-1], nil, nil, 2, 1, 0, DefaultOptions()); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("short spat: err=%v, want ErrBadParams", err)
+	}
+	if _, _, err := GSGSelect(rg, spat, nil, nil, 2, 1, -1, DefaultOptions()); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("m=-1: err=%v, want ErrBadParams", err)
+	}
+	spat[0] = -1
+	if _, _, err := GSGSelect(rg, spat, nil, nil, 2, 1, 0, DefaultOptions()); !errors.Is(err, ErrNoFeasibleGroup) {
+		t.Fatalf("ineligible initiator: err=%v, want ErrNoFeasibleGroup", err)
+	}
+	spat[0] = 0
+	if got, _, err := GSGSelect(rg, spat, nil, nil, 1, 0, 0, DefaultOptions()); err != nil ||
+		len(got.Members) != 1 || got.Members[0] != 0 || got.TotalDistance != 0 || got.Pivot != -1 {
+		t.Fatalf("p=1: got=%+v err=%v", got, err)
+	}
+}

@@ -29,9 +29,17 @@ func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []in
 	if err := opt.validate(); err != nil {
 		return nil, Stats{}, err
 	}
+	return runPivots(newEngine(rg, p, k, opt), cal, calUser, m, "stg")
+}
 
-	e := newEngine(rg, p, k, opt)
-	n := rg.N()
+// runPivots drives one engine through every pivot slot: per-pivot candidate
+// generation (prepPivot), the branch-and-bound search with the incumbent
+// shared across pivots, and the final interval widening. It is the body
+// shared by STGSelect and GSGSelect (the latter arrives with e.spat set, so
+// eligibility and the optimized cost carry the spatial dimension).
+func runPivots(e *engine, cal *schedule.Calendar, calUser []int, m int, kind string) (*STGroup, Stats, error) {
+	p := e.p
+	n := e.n
 	t := &temporalState{
 		m:        m,
 		runLo:    make([]int, n),
@@ -48,7 +56,7 @@ func STGSelect(rg *socialgraph.RadiusGraph, cal *schedule.Calendar, calUser []in
 	defer func() {
 		mCandidateSeconds.Observe(candidateTime.Seconds())
 		mSearchSeconds.Observe(searchTime.Seconds())
-		recordStats("stg", e.stats)
+		recordStats(kind, e.stats)
 	}()
 
 	eligible := bitset.New(n)
@@ -146,6 +154,12 @@ func prepPivot(e *engine, cal *schedule.Calendar, calUser []int, eligible *bitse
 
 	count := 0
 	for v := 0; v < e.n; v++ {
+		// Spatial eligibility first (GSGSelect): a vertex with no location
+		// or outside the activity radius never enters a pivot's candidates,
+		// so the grid pruning happens before any calendar work.
+		if e.spat != nil && e.spat[v] < 0 {
+			continue
+		}
 		// Allocation-free eligibility test (Definition 4): walk the pivot
 		// run directly on the calendar row. A vertex busy at the pivot slot
 		// can have no m-run inside the (2m−1)-wide window.

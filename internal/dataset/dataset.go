@@ -44,7 +44,18 @@ type Dataset struct {
 	// survive compaction. Vertices absent from the map use the default
 	// policy.
 	Policies map[int]int
+	// Locations maps vertex id → (x, y) on the flat local plane in meters
+	// (the repro/internal/geo coordinate model). Vertices absent from the
+	// map have no known location and are excluded from geo-social queries.
+	// Generators place people in community-clustered hotspots; durable-store
+	// snapshots carry whatever SetLocation recorded.
+	Locations map[int][2]float64
 }
+
+// LocationExtentMeters is the side length of the square plane the
+// generators place people on — a ~20 km city. Load generators pick
+// activity points inside it.
+const LocationExtentMeters = 20_000
 
 // Real194Size is the population of the paper's real dataset.
 const Real194Size = 194
@@ -140,7 +151,50 @@ func realLike(n int, seed int64, days int) *Dataset {
 	}
 
 	cal := generateSchedules(r, n, days, community)
-	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days}
+	// Locations come from a dedicated RNG stream so adding the spatial
+	// dimension leaves every previously generated graph and calendar
+	// byte-identical for a given seed.
+	locs := clusterLocations(seed+2, n, community)
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days, Locations: locs}
+}
+
+// clusterLocations places the population on the flat local plane:
+// each community gets a hotspot (campus, office district, neighborhood)
+// and members scatter normally around theirs — so spatial proximity
+// correlates with social proximity, which is what makes geo-social
+// queries interesting on generated data. A few percent of people have
+// no known location (fresh accounts, privacy), exercising the
+// "unlocated people are spatially ineligible" path everywhere.
+func clusterLocations(seed int64, n int, community []int) map[int][2]float64 {
+	r := rand.New(rand.NewSource(seed))
+	nc := 0
+	for _, c := range community {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	if nc == 0 {
+		nc = 1
+	}
+	centers := make([][2]float64, nc)
+	for c := range centers {
+		centers[c] = [2]float64{r.Float64() * LocationExtentMeters, r.Float64() * LocationExtentMeters}
+	}
+	locs := make(map[int][2]float64, n)
+	for v := 0; v < n; v++ {
+		if r.Float64() < 0.05 {
+			continue // no known location
+		}
+		c := 0
+		if v < len(community) {
+			c = community[v]
+		}
+		locs[v] = [2]float64{
+			centers[c][0] + r.NormFloat64()*800,
+			centers[c][1] + r.NormFloat64()*800,
+		}
+	}
+	return locs
 }
 
 // interactionDistance converts a simulated interaction frequency (meetings,
@@ -330,7 +384,8 @@ func Synthetic(n int, seed int64, days int) *Dataset {
 			cal.SetAvailable(v, s)
 		}
 	}
-	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days}
+	locs := clusterLocations(seed+2, n, community)
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days, Locations: locs}
 }
 
 func collectNeighbors(g *socialgraph.Graph, v int) []int {

@@ -20,6 +20,10 @@ type fileFormat struct {
 	Free [][][2]int `json:"free"`
 	// Policies maps person id → sharing policy (absent: default policy).
 	Policies map[int]int `json:"policies,omitempty"`
+	// Locations maps person id → (x, y) meters on the flat local plane.
+	// Absent (including in files written before the field existed): nobody
+	// has a known location; such people are excluded from spatial pruning.
+	Locations map[int][2]float64 `json:"locations,omitempty"`
 }
 
 type filePerson struct {
@@ -42,6 +46,7 @@ func (d *Dataset) Save(w io.Writer) error {
 		Days:         d.Days,
 		Free:         make([][][2]int, n),
 		Policies:     d.Policies,
+		Locations:    d.Locations,
 	}
 	for v := 0; v < n; v++ {
 		comm := 0
@@ -111,9 +116,14 @@ func Load(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: policy for unknown person %d", v)
 		}
 	}
+	for v := range f.Locations {
+		if v < 0 || v >= len(f.People) {
+			return nil, fmt.Errorf("dataset: location for unknown person %d", v)
+		}
+	}
 	days := f.Days
 	if days == 0 && schedule.SlotsPerDay > 0 {
 		days = (f.HorizonSlots + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
 	}
-	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: f.Policies}, nil
+	return &Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: f.Policies, Locations: f.Locations}, nil
 }

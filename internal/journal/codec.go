@@ -60,6 +60,10 @@ func appendFrame(dst []byte, rec Record) ([]byte, error) {
 	case stgq.MutSetPolicy:
 		payload = binary.AppendUvarint(payload, uint64(m.Person))
 		payload = binary.AppendUvarint(payload, uint64(m.Policy))
+	case stgq.MutSetLocation:
+		payload = binary.AppendUvarint(payload, uint64(m.Person))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(m.X))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(m.Y))
 	default:
 		return nil, fmt.Errorf("journal: cannot encode op %v", m.Op)
 	}
@@ -159,6 +163,17 @@ func decodePayload(payload []byte) (Record, error) {
 		}
 		rec.Mut.Person = stgq.PersonID(p)
 		rec.Mut.Policy = stgq.SharePolicy(pol)
+	case stgq.MutSetLocation:
+		p, err := next()
+		if err != nil {
+			return Record{}, err
+		}
+		if len(buf) < 16 {
+			return Record{}, fmt.Errorf("%w: truncated location", ErrCorrupt)
+		}
+		rec.Mut.Person = stgq.PersonID(p)
+		rec.Mut.X = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		rec.Mut.Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
 	default:
 		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
 	}

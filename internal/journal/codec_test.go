@@ -16,6 +16,7 @@ func sampleRecords() []Record {
 		{Seq: 5, Mut: stgq.Mutation{Op: stgq.MutSetBusy, Person: 0, From: 0, To: 48}},
 		{Seq: 6, Mut: stgq.Mutation{Op: stgq.MutDisconnect, A: 1, B: 0}},
 		{Seq: 7, Mut: stgq.Mutation{Op: stgq.MutSetPolicy, Person: 1, Policy: stgq.ShareFriends}},
+		{Seq: 8, Mut: stgq.Mutation{Op: stgq.MutSetLocation, Person: 1, X: -1203.5, Y: 8417.25}},
 	}
 }
 

@@ -1,0 +1,118 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	stgq "repro"
+	"repro/internal/dataset"
+)
+
+// TestLocationSurvivesRestartAndSnapshot pins the two durability paths
+// of a MutSetLocation record: journal-tail replay after a restart, and —
+// after a snapshot folds the record in and compaction retires its
+// segment — the dataset serialization of the snapshot itself.
+func TestLocationSurvivesRestartAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{HorizonSlots: 14, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := st.Planner()
+	for _, name := range []string{"ana", "bo", "cy"} {
+		if _, err := pl.AddPerson(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.SetLocation(1, 120.5, -340.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.SetLocation(2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A move must replay as a move, not as two locations.
+	if err := pl.SetLocation(1, 99, 101); err != nil {
+		t.Fatal(err)
+	}
+	crash(st) // no final snapshot: recovery must replay the journal tail
+
+	assertLocations := func(stage string, pl *stgq.Planner) {
+		t.Helper()
+		if x, y, ok := pl.Location(1); !ok || x != 99 || y != 101 {
+			t.Fatalf("%s: location of 1 = (%v,%v,%v), want (99,101,true)", stage, x, y, ok)
+		}
+		if x, y, ok := pl.Location(2); !ok || x != 0 || y != 0 {
+			t.Fatalf("%s: location of 2 = (%v,%v,%v), want (0,0,true)", stage, x, y, ok)
+		}
+		if _, _, ok := pl.Location(0); ok {
+			t.Fatalf("%s: person 0 gained a location out of nowhere", stage)
+		}
+		if got := pl.NumLocated(); got != 2 {
+			t.Fatalf("%s: NumLocated = %d, want 2", stage, got)
+		}
+	}
+
+	st, err = Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLocations("after replay", st.Planner())
+
+	// Fold everything into a snapshot and retire the journal records; the
+	// next recovery sees no MutSetLocation record at all, only the snapshot.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().LastSnapshotSeq; got != st.LastSeq() {
+		t.Fatalf("snapshot covers seq %d, want %d", got, st.LastSeq())
+	}
+	crash(st)
+
+	st, err = Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Recovery().ReplayedRecords; got != 0 {
+		t.Fatalf("replayed %d records despite covering snapshot", got)
+	}
+	assertLocations("after snapshot recovery", st.Planner())
+}
+
+// TestLegacyDatasetWithoutLocations pins backward compatibility: a
+// dataset file written before the locations field existed must load
+// cleanly, with every person unlocated (excluded from spatial pruning).
+func TestLegacyDatasetWithoutLocations(t *testing.T) {
+	// Export a dataset and strip the locations by round-tripping a
+	// planner that never saw a SetLocation.
+	pl := stgq.NewPlanner(14)
+	pl.MustAddPerson("ana")
+	pl.MustAddPerson("bo")
+	var buf bytes.Buffer
+	if err := pl.Export(nil).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"locations"`)) {
+		t.Fatal("location-free dataset serialized a locations field")
+	}
+	d, err := dataset.Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy dataset (no locations field) failed to load: %v", err)
+	}
+	if d.Locations != nil {
+		t.Fatalf("legacy dataset loaded locations %v, want none", d.Locations)
+	}
+	restored := stgq.FromDataset(d)
+	if got := restored.NumLocated(); got != 0 {
+		t.Fatalf("legacy dataset restored %d located people, want 0", got)
+	}
+	// Geo-social queries over a location-free population are infeasible,
+	// not an error class of their own.
+	_, err = restored.PlanGeoActivity(stgq.GSGQuery{
+		SGQuery: stgq.SGQuery{Initiator: 0, P: 1, S: 1, K: 0},
+		Radius:  1000,
+	})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("no feasible group")) {
+		t.Fatalf("geo query on unlocated population: err = %v, want no-feasible-group", err)
+	}
+}

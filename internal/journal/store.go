@@ -362,6 +362,11 @@ func apply(pl *stgq.Planner, rec Record) error {
 			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
 		}
 		return nil
+	case stgq.MutSetLocation:
+		if err := pl.SetLocation(m.Person, m.X, m.Y); err != nil {
+			return fmt.Errorf("journal: replay seq %d: %w", rec.Seq, err)
+		}
+		return nil
 	}
 	return fmt.Errorf("%w: replay seq %d: unknown op %d", ErrCorrupt, rec.Seq, m.Op)
 }

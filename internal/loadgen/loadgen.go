@@ -1,8 +1,8 @@
 // Package loadgen is the production load harness behind cmd/stgqload: it
 // drives a mixed read/write workload — the paper's SGSelect/STGSelect
-// queries plus availability/friendship mutations and read-your-writes
-// session reads — against a cluster gateway, and attributes where the
-// latency went.
+// queries, the geo-social GSGSelect successor, availability/friendship
+// mutations and read-your-writes session reads — against a cluster
+// gateway, and attributes where the latency went.
 //
 // Two driving disciplines are supported. The closed loop fixes
 // concurrency: N workers issue requests back to back, so the measured
@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/gateway"
 	"repro/internal/obsv"
 )
@@ -49,6 +50,10 @@ const (
 	ClassSGSelect = "sgselect"
 	// ClassSTGSelect is the social-temporal query (POST /query/activity).
 	ClassSTGSelect = "stgselect"
+	// ClassGSGSelect is the geo-social query (POST /query/gsgselect): a
+	// group query around a random activity point within the synthetic
+	// population's location extent.
+	ClassGSGSelect = "gsgselect"
 	// ClassAvail is an availability mutation (POST /availability).
 	ClassAvail = "avail"
 	// ClassFriend is a friendship mutation (POST /friendships).
@@ -60,7 +65,7 @@ const (
 )
 
 // Classes lists every op class in reporting order.
-var Classes = []string{ClassSGSelect, ClassSTGSelect, ClassAvail, ClassFriend, ClassRYWRead}
+var Classes = []string{ClassSGSelect, ClassSTGSelect, ClassGSGSelect, ClassAvail, ClassFriend, ClassRYWRead}
 
 // Mix weighs the op classes; weights are relative (they need not sum to
 // anything particular). A zero-valued Mix means DefaultMix.
@@ -69,6 +74,8 @@ type Mix struct {
 	SGSelect int
 	// STGSelect weighs the social-temporal queries.
 	STGSelect int
+	// GSGSelect weighs the geo-social queries.
+	GSGSelect int
 	// Avail weighs availability mutations.
 	Avail int
 	// Friend weighs friendship mutations.
@@ -79,16 +86,17 @@ type Mix struct {
 
 // DefaultMix is a read-heavy production-shaped mix: queries dominate,
 // mutations trickle, session reads exercise the RYW path continuously.
-var DefaultMix = Mix{SGSelect: 30, STGSelect: 20, Avail: 25, Friend: 15, RYWRead: 10}
+var DefaultMix = Mix{SGSelect: 25, STGSelect: 15, GSGSelect: 10, Avail: 25, Friend: 15, RYWRead: 10}
 
 // zero reports whether the mix has no weight at all.
 func (m Mix) zero() bool {
-	return m.SGSelect == 0 && m.STGSelect == 0 && m.Avail == 0 && m.Friend == 0 && m.RYWRead == 0
+	return m.SGSelect == 0 && m.STGSelect == 0 && m.GSGSelect == 0 &&
+		m.Avail == 0 && m.Friend == 0 && m.RYWRead == 0
 }
 
 // weights returns the mix as a slice parallel to Classes.
 func (m Mix) weights() []int {
-	return []int{m.SGSelect, m.STGSelect, m.Avail, m.Friend, m.RYWRead}
+	return []int{m.SGSelect, m.STGSelect, m.GSGSelect, m.Avail, m.Friend, m.RYWRead}
 }
 
 // Config parameterizes one load run.
@@ -129,6 +137,7 @@ type Runner struct {
 	stageSeconds *obsv.HistogramVec
 	opsTotal     *obsv.CounterVec
 	errsTotal    *obsv.CounterVec
+	barriers     *obsv.CounterVec
 	dropped      *obsv.Counter
 }
 
@@ -179,7 +188,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.opsTotal = r.reg.NewCounterVec("stgq_load_ops_total",
 		"Completed requests by op class.", "class")
 	r.errsTotal = r.reg.NewCounterVec("stgq_load_errors_total",
-		"Failed requests by op class (transport errors and 4xx/5xx other than 422).", "class")
+		"Failed requests by op class (transport errors and 4xx/5xx other than 422 and 412).", "class")
+	r.barriers = r.reg.NewCounterVec("stgq_load_barrier_timeouts_total",
+		"Requests answered 412 by op class: the read-your-writes barrier "+
+			"expired before the backend caught up to the session's floor.", "class")
 	r.dropped = r.reg.NewCounter("stgq_load_dropped_total",
 		"Open-loop arrivals that could not launch because the in-flight cap was reached.")
 	return r, nil
@@ -311,6 +323,15 @@ func (w *worker) buildLocked(class string) ([]byte, string, bool) {
 		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1}`, p), "/query/group", false
 	case ClassSTGSelect:
 		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1,"m":2}`, p), "/query/activity", false
+	case ClassGSGSelect:
+		// A random activity point on the population's location plane with
+		// a walkable-to-transit radius; an empty neighborhood answers 422,
+		// which the harness counts as a completed search.
+		x := w.rng.Float64() * dataset.LocationExtentMeters
+		y := w.rng.Float64() * dataset.LocationExtentMeters
+		radius := 500 + w.rng.Float64()*3000
+		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1,"x":%.1f,"y":%.1f,"radius":%.1f}`, p, x, y, radius),
+			"/query/gsgselect", false
 	case ClassAvail:
 		from := w.rng.Intn(horizon)
 		to := from + 1 + w.rng.Intn(horizon-from)
@@ -362,6 +383,14 @@ func (r *Runner) issue(ctx context.Context, class, path string, body []byte, wit
 	}
 	resp.Body.Close()
 	r.opsTotal.With(class).Inc()
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		// A 412 is a staleness signal, not a failure: the backend answered
+		// honestly that it could not reach the session's read floor in
+		// time. Folding these into the error count (as the harness once
+		// did) made replication lag read as server breakage.
+		r.barriers.With(class).Inc()
+		return
+	}
 	ok := resp.StatusCode < 300 || resp.StatusCode == 422
 	if !ok {
 		r.errsTotal.With(class).Inc()

@@ -13,8 +13,14 @@ import (
 type ClassStats struct {
 	// Ops counts completed requests (successes and errors).
 	Ops uint64 `json:"ops"`
-	// Errors counts transport failures and non-2xx/422 statuses.
+	// Errors counts transport failures and non-2xx statuses other than
+	// 422 (infeasible: a completed search) and 412 (barrier timeout,
+	// counted separately below).
 	Errors uint64 `json:"errors"`
+	// BarrierTimeouts counts 412 responses: the read-your-writes barrier
+	// expired before the backend caught up to the session's floor. A
+	// staleness signal, not a failure.
+	BarrierTimeouts uint64 `json:"barrierTimeouts"`
 	// ThroughputOps is successful ops per second over the run.
 	ThroughputOps float64 `json:"throughputOps"`
 	// MeanSeconds is the mean end-to-end latency of successful ops.
@@ -54,6 +60,9 @@ type Report struct {
 	TotalOps uint64 `json:"totalOps"`
 	// TotalErrors counts all failed requests across classes.
 	TotalErrors uint64 `json:"totalErrors"`
+	// TotalBarrierTimeouts counts 412 responses across classes (see
+	// ClassStats.BarrierTimeouts).
+	TotalBarrierTimeouts uint64 `json:"totalBarrierTimeouts"`
 	// Dropped counts open-loop arrivals shed at the in-flight cap
 	// (always 0 in closed mode); nonzero means the system could not
 	// sustain the offered rate.
@@ -89,8 +98,9 @@ func (r *Runner) report(elapsed time.Duration) *Report {
 	for _, class := range Classes {
 		h := r.opSeconds.With(class)
 		cs := ClassStats{
-			Ops:    r.opsTotal.With(class).Value(),
-			Errors: r.errsTotal.With(class).Value(),
+			Ops:             r.opsTotal.With(class).Value(),
+			Errors:          r.errsTotal.With(class).Value(),
+			BarrierTimeouts: r.barriers.With(class).Value(),
 		}
 		if n := h.Count(); n > 0 {
 			cs.ThroughputOps = float64(n) / secs
@@ -101,6 +111,7 @@ func (r *Runner) report(elapsed time.Duration) *Report {
 		}
 		rep.TotalOps += cs.Ops
 		rep.TotalErrors += cs.Errors
+		rep.TotalBarrierTimeouts += cs.BarrierTimeouts
 		rep.Classes[class] = cs
 	}
 
@@ -145,15 +156,15 @@ func (r *Runner) stageHistograms() map[string]*obsv.Histogram {
 // attribution table sorted by share.
 func (rep *Report) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "stgqload %s: %d ops in %.1fs (%.1f ops/s), %d errors, %d dropped\n",
+	fmt.Fprintf(&b, "stgqload %s: %d ops in %.1fs (%.1f ops/s), %d errors, %d barrier timeouts, %d dropped\n",
 		rep.Mode, rep.TotalOps, rep.DurationSeconds, rep.ThroughputOps,
-		rep.TotalErrors, rep.Dropped)
-	fmt.Fprintf(&b, "\n%-10s %8s %8s %10s %10s %10s %10s\n",
-		"class", "ops", "err", "thru/s", "p50", "p99", "p999")
+		rep.TotalErrors, rep.TotalBarrierTimeouts, rep.Dropped)
+	fmt.Fprintf(&b, "\n%-10s %8s %8s %8s %10s %10s %10s %10s\n",
+		"class", "ops", "err", "412", "thru/s", "p50", "p99", "p999")
 	for _, class := range Classes {
 		cs := rep.Classes[class]
-		fmt.Fprintf(&b, "%-10s %8d %8d %10.1f %10s %10s %10s\n",
-			class, cs.Ops, cs.Errors, cs.ThroughputOps,
+		fmt.Fprintf(&b, "%-10s %8d %8d %8d %10.1f %10s %10s %10s\n",
+			class, cs.Ops, cs.Errors, cs.BarrierTimeouts, cs.ThroughputOps,
 			fmtSec(cs.P50Seconds), fmtSec(cs.P99Seconds), fmtSec(cs.P999Seconds))
 	}
 	names := make([]string, 0, len(rep.Stages))

@@ -80,6 +80,11 @@ type Status struct {
 	// LagSeconds is the time since the leader was last heard from
 	// (records or heartbeats); -1 before the first contact.
 	LagSeconds float64 `json:"lagSeconds"`
+	// LocatedPeople is the number of people with an applied location in
+	// the replayed planner — the spatial coverage this follower can serve
+	// geo-social queries from. It advances as MutSetLocation records are
+	// applied (or arrive folded into a bootstrap snapshot).
+	LocatedPeople uint64 `json:"locatedPeople"`
 	// Reconnects counts stream reconnects after errors (clean leader-side
 	// stream rotations excluded).
 	Reconnects uint64 `json:"reconnects"`
@@ -118,7 +123,11 @@ type Follower struct {
 	lastContact atomic.Int64 // unix nanos; 0 = never
 	reconnects  atomic.Uint64
 	bootstraps  atomic.Uint64
-	lastErr     atomic.Value // string
+	// located mirrors the replayed planner's NumLocated so Status can
+	// report spatial coverage without touching the store lock. Written
+	// under ingestMu (applyWire, resetFromSnapshot) and at construction.
+	located atomic.Uint64
+	lastErr atomic.Value // string
 	// forceBootstrap requests a snapshot reset on the next connect —
 	// set when local apply diverges from the leader's history.
 	forceBootstrap atomic.Bool
@@ -182,6 +191,7 @@ func NewFollower(cfg Config) (*Follower, error) {
 	}
 	f.applied.Store(st.LastSeq())
 	f.epoch.Store(st.Epoch())
+	f.located.Store(uint64(st.Planner().NumLocated()))
 	if rec := st.Recovery(); st.LastSeq() == 0 && rec.SnapshotSeq == 0 && rec.People == 0 {
 		// A brand-new follower syncs its initial state from a leader
 		// snapshot rather than replaying the whole journal record by
@@ -282,6 +292,7 @@ func (f *Follower) Status() Status {
 		LeaderSeq:     leader,
 		LagRecords:    lag,
 		LagSeconds:    lagSec,
+		LocatedPeople: f.located.Load(),
 		Reconnects:    f.reconnects.Load(),
 		Bootstraps:    f.bootstraps.Load(),
 		Bootstrapping: f.bootstrapping.Load(),
@@ -556,6 +567,11 @@ func (f *Follower) applyWire(msg wireMsg) error {
 		return fmt.Errorf("replica: local store assigned seq %d for leader record %d", got, msg.Seq)
 	}
 	mApplySeconds.ObserveSince(applyStart)
+	if stgq.MutationOp(msg.Op) == stgq.MutSetLocation {
+		// Re-read rather than increment: a move relocates an already-
+		// located person, so the count tracks coverage, not record volume.
+		f.located.Store(uint64(st.Planner().NumLocated()))
+	}
 	f.applied.Store(msg.Seq)
 	f.appliedCh.Broadcast()
 	f.noteLeaderSeq(msg.Seq)
@@ -595,6 +611,7 @@ func (f *Follower) resetFromSnapshot(seq, epoch, epochStart uint64, ds *dataset.
 	f.applied.Store(st.LastSeq())
 	f.appliedCh.Broadcast()
 	f.epoch.Store(st.Epoch())
+	f.located.Store(uint64(st.Planner().NumLocated()))
 	return nil
 }
 

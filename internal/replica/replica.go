@@ -132,6 +132,8 @@ type wireMsg struct {
 	From int     `json:"from,omitempty"`
 	To   int     `json:"to,omitempty"`
 	Pol  int     `json:"pol,omitempty"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
 }
 
 func toWire(rec journal.Record) wireMsg {
@@ -148,6 +150,8 @@ func toWire(rec journal.Record) wireMsg {
 		From: m.From,
 		To:   m.To,
 		Pol:  int(m.Policy),
+		X:    m.X,
+		Y:    m.Y,
 	}
 }
 
@@ -164,6 +168,8 @@ func fromWire(w wireMsg) journal.Record {
 			From:     w.From,
 			To:       w.To,
 			Policy:   stgq.SharePolicy(w.Pol),
+			X:        w.X,
+			Y:        w.Y,
 		},
 	}
 }

@@ -230,9 +230,27 @@ func TestLeaderFollowerEndToEnd(t *testing.T) {
 	if err := leader.st.Planner().SetSchedulePolicy(11, stgq.ShareNone); err != nil {
 		t.Fatal(err)
 	}
+	// Location mutations replicate too, and the follower surfaces its
+	// applied-location coverage in Status — a move relocates an already-
+	// located person, so it must not double count.
+	if err := leader.st.Planner().SetLocation(10, 120, -45); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.st.Planner().SetLocation(11, 300, 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.st.Planner().SetLocation(10, 121, -46); err != nil {
+		t.Fatal(err)
+	}
 	waitCaughtUp(t, f.fo, leader.st)
 	if got := f.fo.Planner().SchedulePolicy(11); got != stgq.ShareNone {
 		t.Fatalf("policy did not replicate: person 11 = %v, want none", got)
+	}
+	if got := f.fo.Status().LocatedPeople; got != 2 {
+		t.Fatalf("follower LocatedPeople = %d, want 2", got)
+	}
+	if x, y, ok := f.fo.Planner().Location(10); !ok || x != 121 || y != -46 {
+		t.Fatalf("location move did not replicate: (%v,%v,%v)", x, y, ok)
 	}
 	if got, want := planOn(t, f.ts, 10), planOn(t, leader.ts, 10); !bytes.Equal(got, want) {
 		t.Fatalf("follower plan diverged after update:\n  follower %s\n  leader   %s", got, want)
@@ -247,6 +265,9 @@ func TestLeaderFollowerEndToEnd(t *testing.T) {
 	f2 := startFollower(t, fdir, leader.ts.URL)
 	if got := f2.fo.Status().AppliedSeq; got != applied {
 		t.Fatalf("restarted follower recovered seq %d from disk, want %d", got, applied)
+	}
+	if got := f2.fo.Status().LocatedPeople; got != 2 {
+		t.Fatalf("restarted follower recovered LocatedPeople = %d from disk, want 2", got)
 	}
 	waitCaughtUp(t, f2.fo, leader.st)
 	if f2.fo.Status().Bootstraps != 0 {

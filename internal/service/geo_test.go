@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestGeoEndpoints drives the geo-social pair — POST /people/{id}/location
+// and POST /query/gsgselect — end to end over the Figure 3 population.
+// With everyone co-located at the activity point the spatial costs vanish
+// and the combined objective must equal the known SGQ/STGQ optima; moving
+// a chosen member outside the radius must evict them from the group.
+func TestGeoEndpoints(t *testing.T) {
+	ts := httptest.NewServer(New(7))
+	defer ts.Close()
+	ids := buildFigure3(t, ts)
+
+	// Before any location is known the population is spatially empty:
+	// infeasible, not an internal error.
+	code := post(t, ts, "/query/gsgselect",
+		GeoQueryRequest{QueryRequest: QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}, Radius: 500}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("gsgselect on unlocated population: status %d, want 422", code)
+	}
+
+	// Locate everyone at the origin.
+	for name, id := range ids {
+		code := post(t, ts, fmt.Sprintf("/people/%d/location", id), LocationRequest{X: 0, Y: 0}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("locate %s: status %d", name, code)
+		}
+	}
+
+	// Zero spatial cost → the combined objective is the pure SGQ optimum.
+	var grp GeoPlanResponse
+	code = post(t, ts, "/query/gsgselect",
+		GeoQueryRequest{QueryRequest: QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}, Radius: 500}, &grp)
+	if code != http.StatusOK {
+		t.Fatalf("gsgselect: status %d", code)
+	}
+	if grp.TotalDistance != 62 || len(grp.Members) != 4 {
+		t.Fatalf("gsgselect = %+v, want distance 62 over 4 members", grp)
+	}
+	if grp.WindowHuman != "" {
+		t.Errorf("m=0 query answered with a window: %+v", grp)
+	}
+
+	// With the temporal dimension the STGQ optimum carries over likewise.
+	var plan GeoPlanResponse
+	code = post(t, ts, "/query/gsgselect",
+		GeoQueryRequest{QueryRequest: QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1, M: 3}, Radius: 500}, &plan)
+	if code != http.StatusOK {
+		t.Fatalf("gsgselect m=3: status %d", code)
+	}
+	if plan.TotalDistance != 67 || plan.WindowStart != 1 || plan.WindowEnd != 5 || plan.WindowHuman == "" {
+		t.Fatalf("gsgselect m=3 = %+v, want distance 67 in window [1,5)", plan)
+	}
+
+	// Move a chosen non-initiator member outside the radius: the member
+	// must drop out of the answer.
+	moved := grp.Members[1].ID
+	if code := post(t, ts, fmt.Sprintf("/people/%d/location", moved), LocationRequest{X: 9_000, Y: 0}, nil); code != http.StatusOK {
+		t.Fatalf("move member %d: status %d", moved, code)
+	}
+	var after GeoPlanResponse
+	code = post(t, ts, "/query/gsgselect",
+		GeoQueryRequest{QueryRequest: QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}, Radius: 500}, &after)
+	if code != http.StatusOK {
+		t.Fatalf("gsgselect after move: status %d", code)
+	}
+	for _, m := range after.Members {
+		if m.ID == moved {
+			t.Fatalf("member %d is outside the radius but still chosen: %+v", moved, after)
+		}
+	}
+
+	// Error mapping: malformed path id 400, unknown person 404, bad radius
+	// 400.
+	if code := post(t, ts, "/people/abc/location", LocationRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("non-numeric id: status %d, want 400", code)
+	}
+	if code := post(t, ts, "/people/99/location", LocationRequest{X: 1, Y: 2}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown person: status %d, want 404", code)
+	}
+	code = post(t, ts, "/query/gsgselect",
+		GeoQueryRequest{QueryRequest: QueryRequest{Initiator: ids["v7"], P: 4, S: 1, K: 1}}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("zero radius: status %d, want 400", code)
+	}
+}

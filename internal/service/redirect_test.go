@@ -48,6 +48,7 @@ func TestFollowerRejectsEveryMutationWithLeaderHint(t *testing.T) {
 		{http.MethodDelete, "/friendships", FriendshipRequest{A: 0, B: 1}},
 		{http.MethodPost, "/availability", AvailabilityRequest{Person: 0, From: 0, To: 4, Available: true}},
 		{http.MethodPost, "/policies", PolicyRequest{Person: 0, Policy: "friends"}},
+		{http.MethodPost, "/people/0/location", LocationRequest{X: 10, Y: 20}},
 	}
 	for _, m := range mutations {
 		buf, err := json.Marshal(m.body)

@@ -11,8 +11,10 @@
 //	DELETE /friendships   {"a": 0, "b": 1}                       → {}
 //	POST   /availability  {"person":0,"from":36,"to":44,"available":true} → {}
 //	POST   /policies      {"person":0,"policy":"friends"}        → {}
+//	POST   /people/{id}/location {"x": 120.5, "y": -430.25}      → {}
 //	POST   /query/group    {"initiator":0,"p":4,"s":1,"k":1,...}  → group
 //	POST   /query/activity {"initiator":0,"p":4,"s":1,"k":1,"m":4} → plan
+//	POST   /query/gsgselect {"initiator":0,"p":4,"s":1,"k":1,"m":4,"x":0,"y":0,"radius":800} → geo plan
 //	POST   /query/manual   {"initiator":0,"p":4,"s":1,"m":4}      → manual plan
 //	POST   /promote        {}                    → follower becomes the leader
 //	GET    /status                                               → counts
@@ -68,6 +70,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -155,9 +158,11 @@ func (s *Server) routes() {
 	s.handle("DELETE /friendships", s.handleRemoveFriendship)
 	s.handle("POST /availability", s.handleAvailability)
 	s.handle("POST /policies", s.handleSetPolicy)
+	s.handle("POST /people/{id}/location", s.handleSetLocation)
 	s.handle("POST /promote", s.handlePromote)
 	s.handle("POST /query/group", s.handleGroupQuery)
 	s.handle("POST /query/activity", s.handleActivityQuery)
+	s.handle("POST /query/gsgselect", s.handleGeoQuery)
 	s.handle("POST /query/manual", s.handleManualQuery)
 	s.handle("GET /status", s.handleStatus)
 	s.mux.Handle("GET /metrics", obsv.Handler(obsv.Default))
@@ -267,6 +272,16 @@ type PolicyRequest struct {
 	Policy string `json:"policy"`
 }
 
+// LocationRequest sets the location of the person named in the request
+// path (POST /people/{id}/location), in meters on the deployment's flat
+// local plane (see stgq.Point). Posting again moves the person.
+type LocationRequest struct {
+	// X is the east-west coordinate in meters.
+	X float64 `json:"x"`
+	// Y is the north-south coordinate in meters (see X).
+	Y float64 `json:"y"`
+}
+
 // QueryRequest carries the query parameters shared by all query endpoints.
 type QueryRequest struct {
 	// Initiator is the person planning the activity.
@@ -313,6 +328,36 @@ type PlanResponse struct {
 	WindowEnd int `json:"windowEnd"`
 	// WindowHuman renders the window as a day/time phrase.
 	WindowHuman string `json:"window"`
+}
+
+// GeoQueryRequest carries the /query/gsgselect parameters: the shared
+// query fields plus the activity point and spatial radius. M may be 0
+// (purely geo-social, no temporal dimension).
+type GeoQueryRequest struct {
+	QueryRequest
+	// X, Y is the activity point in meters on the flat local plane.
+	X float64 `json:"x"`
+	// Y is the north-south coordinate of the activity point (see X).
+	Y float64 `json:"y"`
+	// Radius is the spatial constraint in meters: every member must be
+	// within Radius of the activity point.
+	Radius float64 `json:"radius"`
+}
+
+// GeoPlanResponse answers /query/gsgselect. TotalDistance is the combined
+// objective — each member's social distance plus their spatial distance
+// to the activity point; Member.Distance stays the social distance alone.
+// The window fields are present only when the query had a temporal
+// dimension (m ≥ 1).
+type GeoPlanResponse struct {
+	GroupResponse
+	// WindowStart and WindowEnd bound the chosen activity slots
+	// [start, end); both are 0 when m == 0.
+	WindowStart int `json:"windowStart,omitempty"`
+	// WindowEnd is the exclusive end slot (see WindowStart).
+	WindowEnd int `json:"windowEnd,omitempty"`
+	// WindowHuman renders the window as a day/time phrase ("" when m == 0).
+	WindowHuman string `json:"window,omitempty"`
 }
 
 // ManualResponse answers /query/manual.
@@ -491,6 +536,31 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 	reply(w, r, http.StatusOK, struct{}{})
 }
 
+func (s *Server) handleSetLocation(w http.ResponseWriter, r *http.Request) {
+	pl, ok := s.writablePlanner(w)
+	if !ok {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: person id: " + err.Error()})
+		return
+	}
+	var req LocationRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		err = pl.SetLocationCtx(r.Context(), stgq.PersonID(id), req.X, req.Y)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.noteWriteSeq(w)
+	reply(w, r, http.StatusOK, struct{}{})
+}
+
 func parseAlgorithm(name string) (stgq.Algorithm, error) {
 	switch name {
 	case "", "select":
@@ -563,6 +633,42 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 		WindowEnd:     plan.Window.End,
 		WindowHuman:   plan.Window.Format(),
 	})
+}
+
+func (s *Server) handleGeoQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitMinSeq(w, r) {
+		return
+	}
+	var req GeoQueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var plan *stgq.GeoPlanResult
+	timeEngine(obsv.StagesFrom(r.Context()), func() {
+		plan, err = s.planner().PlanGeoActivity(stgq.GSGQuery{
+			SGQuery: stgq.SGQuery{
+				Initiator: stgq.PersonID(req.Initiator),
+				P:         req.P, S: req.S, K: req.K, Algorithm: alg,
+			},
+			M: req.M, X: req.X, Y: req.Y, Radius: req.Radius,
+		})
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := GeoPlanResponse{GroupResponse: toGroupResponse(&plan.GroupResult)}
+	if req.M >= 1 {
+		resp.WindowStart = plan.Window.Start
+		resp.WindowEnd = plan.Window.End
+		resp.WindowHuman = plan.Window.Format()
+	}
+	reply(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,7 @@ import (
 // surface operators and integrators actually program against.
 var checkedPackages = []string{
 	"internal/gateway",
+	"internal/geo",
 	"internal/replica",
 	"internal/journal",
 	"internal/loadgen",

@@ -115,6 +115,7 @@ import (
 	"repro/internal/coordinate"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/geo"
 	"repro/internal/ipmodel"
 	"repro/internal/schedule"
 	"repro/internal/socialgraph"
@@ -140,6 +141,8 @@ const (
 	MutSetBusy
 	// MutSetPolicy records a SetSchedulePolicy call.
 	MutSetPolicy
+	// MutSetLocation records a SetLocation call.
+	MutSetLocation
 )
 
 func (op MutationOp) String() string {
@@ -156,6 +159,8 @@ func (op MutationOp) String() string {
 		return "set-busy"
 	case MutSetPolicy:
 		return "set-policy"
+	case MutSetLocation:
+		return "set-location"
 	}
 	return fmt.Sprintf("MutationOp(%d)", uint8(op))
 }
@@ -167,7 +172,8 @@ func (op MutationOp) String() string {
 //   - MutConnect: A, B and Distance;
 //   - MutDisconnect: A and B;
 //   - MutSetAvailable, MutSetBusy: Person, From and To;
-//   - MutSetPolicy: Person and Policy.
+//   - MutSetPolicy: Person and Policy;
+//   - MutSetLocation: Person, X and Y.
 type Mutation struct {
 	Op       MutationOp
 	Name     string
@@ -176,6 +182,7 @@ type Mutation struct {
 	Distance float64
 	From, To int
 	Policy   SharePolicy
+	X, Y     float64
 }
 
 // MutationHook observes every successful mutation. It is invoked
@@ -214,6 +221,8 @@ type Planner struct {
 	avail     []availRange
 	community []int // dataset-loaded community assignments, for Export
 	policies  map[PersonID]SharePolicy
+	locations map[PersonID]geo.Point
+	grid      *geo.Grid // spatial index over locations; lazily created
 	hook      MutationHook
 }
 
@@ -479,7 +488,9 @@ func (pl *Planner) calendarLocked() *schedule.Calendar {
 // internal/dataset) in a Planner. The dataset's calendar becomes the base
 // layer: later SetAvailable/SetBusy calls edit on top of it. Privacy
 // policies recorded in the dataset (a durable store's snapshot) are
-// restored; unknown policy values fall back to ShareAll.
+// restored; unknown policy values fall back to ShareAll. Locations are
+// restored into the spatial index; people without one stay unlocated
+// (excluded from geo-social queries).
 func FromDataset(d *dataset.Dataset) *Planner {
 	var policies map[PersonID]SharePolicy
 	for v, pol := range d.Policies {
@@ -492,7 +503,7 @@ func FromDataset(d *dataset.Dataset) *Planner {
 		}
 		policies[PersonID(v)] = sp
 	}
-	return &Planner{
+	pl := &Planner{
 		g:         d.Graph,
 		horizon:   d.Cal.Horizon(),
 		base:      d.Cal,
@@ -501,6 +512,10 @@ func FromDataset(d *dataset.Dataset) *Planner {
 		community: d.Community,
 		policies:  policies,
 	}
+	for v, xy := range d.Locations {
+		pl.setLocationLocked(PersonID(v), geo.Point{X: xy[0], Y: xy[1]})
+	}
+	return pl
 }
 
 // Export returns a consistent point-in-time copy of the planner's state as
@@ -536,6 +551,13 @@ func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 			policies[int(p)] = int(pol)
 		}
 	}
+	var locations map[int][2]float64
+	if len(pl.locations) > 0 {
+		locations = make(map[int][2]float64, len(pl.locations))
+		for p, pt := range pl.locations {
+			locations[int(p)] = [2]float64{pt.X, pt.Y}
+		}
+	}
 	if onLocked != nil {
 		onLocked()
 	}
@@ -544,7 +566,7 @@ func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 	if schedule.SlotsPerDay > 0 {
 		days = (pl.horizon + schedule.SlotsPerDay - 1) / schedule.SlotsPerDay
 	}
-	return &dataset.Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: policies}
+	return &dataset.Dataset{Graph: g, Cal: cal, Community: community, Days: days, Policies: policies, Locations: locations}
 }
 
 // queryView captures everything a query needs under one lock acquisition:
