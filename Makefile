@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt-check fmt bench bench-smoke bench-check bench-regress bench-rebaseline load-smoke race e2e-failover e2e-ryw e2e-geo docs-check
+.PHONY: check build test vet lint fmt-check fmt bench bench-smoke bench-check bench-regress bench-rebaseline load-smoke race e2e-failover e2e-ryw e2e-geo docs-check
 
 # Benchmark reports (BENCH_journal.json, BENCH_gateway.json) land in the
 # repo root regardless of each test binary's working directory; the
 # timestamp is pinned once per make invocation so both reports agree.
 BENCH_ENV = STGQ_BENCH_OUT=$(CURDIR) STGQ_BENCH_TS=$$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-check: fmt-check vet build test
+check: fmt-check lint build test
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: go vet plus stgqcheck, the project-invariant
+# analyzers (mutation wiring, lock-vs-I/O, epoch-qualified seq ordering,
+# context propagation, metric naming). See docs/development.md.
+lint: vet
+	$(GO) run ./internal/tools/stgqcheck
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/loadgen"
@@ -45,7 +47,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*target, *mode, *duration, *concurrency, *rate, *users, *followers, *days, *seed, *out); err != nil {
+	// The root context: Ctrl-C / SIGTERM cancels the topology's
+	// replication and probe loops and the in-flight workload, so an
+	// interrupted run tears down instead of leaking dial retries.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *target, *mode, *duration, *concurrency, *rate, *users, *followers, *days, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "stgqload:", err)
 		os.Exit(1)
 	}
@@ -53,13 +61,13 @@ func main() {
 
 // run boots the topology if needed, drives the workload and writes the
 // report.
-func run(target, mode string, duration time.Duration, concurrency int, rate float64,
+func run(ctx context.Context, target, mode string, duration time.Duration, concurrency int, rate float64,
 	users, followers, days int, seed int64, out string) error {
 	horizon := 0
 	if target == "" {
 		fmt.Fprintf(os.Stderr, "stgqload: booting in-process cluster (%d users, %d followers)\n",
 			users, followers)
-		topo, err := loadgen.StartTopology(loadgen.TopologyConfig{
+		topo, err := loadgen.StartTopology(ctx, loadgen.TopologyConfig{
 			Users:     users,
 			Followers: followers,
 			Seed:      seed,
@@ -87,7 +95,7 @@ func run(target, mode string, duration time.Duration, concurrency int, rate floa
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "stgqload: driving %s for %s against %s\n", mode, duration, target)
-	rep, err := r.Run(context.Background())
+	rep, err := r.Run(ctx)
 	if err != nil {
 		return err
 	}

@@ -80,6 +80,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/replica"
 	"repro/internal/service"
 )
 
@@ -408,13 +409,14 @@ func (g *Gateway) pickReadTiered(bound float64, minSeq uint64, exclude *Backend)
 func (g *Gateway) pickFollower(bound float64, minSeq, epochFloor uint64, exclude *Backend, leaderURL string, preferSeq bool) *Backend {
 	var best *Backend
 	var bestPending int64
-	var bestSeq uint64
+	var bestEpoch, bestSeq uint64
 	for _, b := range g.backends {
 		if b == exclude || b.URL == leaderURL {
 			continue
 		}
 		h := b.health()
-		if !h.Healthy || h.Role != "follower" || h.Epoch < epochFloor || h.DurableSeq < minSeq {
+		if !h.Healthy || h.Role != "follower" || h.Epoch < epochFloor ||
+			replica.CompareSeq(h.Epoch, h.DurableSeq, epochFloor, minSeq) < 0 {
 			continue
 		}
 		if bound >= 0 {
@@ -426,13 +428,14 @@ func (g *Gateway) pickFollower(bound float64, minSeq, epochFloor uint64, exclude
 		better := best == nil
 		if !better {
 			if preferSeq {
-				better = h.DurableSeq > bestSeq || (h.DurableSeq == bestSeq && p < bestPending)
+				c := replica.CompareSeq(h.Epoch, h.DurableSeq, bestEpoch, bestSeq)
+				better = c > 0 || (c == 0 && p < bestPending)
 			} else {
 				better = p < bestPending
 			}
 		}
 		if better {
-			best, bestPending, bestSeq = b, p, h.DurableSeq
+			best, bestPending, bestEpoch, bestSeq = b, p, h.Epoch, h.DurableSeq
 		}
 	}
 	return best

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/service"
 )
 
@@ -99,7 +100,7 @@ func (g *Gateway) ProbeOnce(ctx context.Context) {
 		if !h.Healthy || h.Role != "leader" || h.Epoch < maxEpoch {
 			continue
 		}
-		if !found || h.Epoch > leaderEpoch || (h.Epoch == leaderEpoch && h.DurableSeq > leaderSeq) {
+		if !found || replica.CompareSeq(h.Epoch, h.DurableSeq, leaderEpoch, leaderSeq) > 0 {
 			leaderURL, leaderEpoch, leaderSeq, found = b.URL, h.Epoch, h.DurableSeq, true
 		}
 	}
@@ -177,7 +178,7 @@ func (g *Gateway) maybeFailover(ctx context.Context, now time.Time) {
 		if !h.Healthy || h.Role != "follower" || h.Epoch < floor {
 			continue
 		}
-		if cand == nil || h.Epoch > candEpoch || (h.Epoch == candEpoch && h.DurableSeq > candSeq) {
+		if cand == nil || replica.CompareSeq(h.Epoch, h.DurableSeq, candEpoch, candSeq) > 0 {
 			cand, candEpoch, candSeq = b, h.Epoch, h.DurableSeq
 		}
 	}

@@ -177,10 +177,18 @@ func (l *FileLog) Append(recs []Record) error {
 	if l.active == nil {
 		return ErrClosed
 	}
+	// The write+fsync happens under l.mu on purpose: the WAL is a
+	// single-writer log and the lock IS the serialization point — batch
+	// N+1 must not reach the file until batch N is durable, or a crash
+	// could persist N+1 without N and recovery would reject the gap.
+	// Group commit (the batcher) amortizes the stall; goroutines queue
+	// there, not here.
+	//stgqcheck:ignore lockio single-writer WAL: the mutex is the append serialization point
 	if _, err := l.active.Write(buf); err != nil {
 		l.failed = fmt.Errorf("journal: append: %w", err)
 		return l.failed
 	}
+	//stgqcheck:ignore lockio fsync must complete before the next batch may append
 	if err := l.active.Sync(); err != nil {
 		l.failed = fmt.Errorf("journal: fsync: %w", err)
 		return l.failed
@@ -246,29 +254,49 @@ func segFirstSeq(path string) uint64 {
 // A segment whose unlink fails stays tracked and is retried by the next
 // compaction. Returns the number of segments removed.
 func (l *FileLog) Compact(upTo uint64) (int, error) {
+	// Pick the victims under the lock, unlink them outside it — an
+	// unlink is disk I/O and appends must not stall behind it — then
+	// re-acquire to drop the removed entries. Rotate may have sealed new
+	// segments in between, so the tracked list is filtered, not
+	// replaced.
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	var kept []segmentInfo
+	var victims []segmentInfo
+	for _, seg := range l.sealed {
+		if seg.lastSeq <= upTo {
+			victims = append(victims, seg)
+		}
+	}
+	l.mu.Unlock()
+	if len(victims) == 0 {
+		return 0, nil
+	}
+
 	var firstErr error
 	removed := 0
-	for _, seg := range l.sealed {
-		if seg.lastSeq > upTo {
-			kept = append(kept, seg)
-			continue
-		}
+	gone := make(map[string]bool, len(victims))
+	for _, seg := range victims {
 		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("journal: compact: %w", err)
 			}
-			kept = append(kept, seg)
 			continue
 		}
 		removed++
+		gone[seg.path] = true
 	}
-	l.sealed = kept
 	if removed > 0 {
 		syncDir(l.dir)
 	}
+
+	l.mu.Lock()
+	kept := l.sealed[:0]
+	for _, seg := range l.sealed {
+		if !gone[seg.path] {
+			kept = append(kept, seg)
+		}
+	}
+	l.sealed = kept
+	l.mu.Unlock()
 	return removed, firstErr
 }
 
@@ -305,18 +333,22 @@ func (l *FileLog) Counters() (syncs, batches, records uint64) {
 	return l.syncs, l.batches, l.records
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. The handle is detached
+// under the lock and the final sync+close run outside it, so a slow
+// fsync cannot block concurrent Segments/Failed/Counters readers;
+// appends racing Close observe l.active == nil and fail with ErrClosed.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.active == nil {
+	f := l.active
+	l.active = nil
+	l.mu.Unlock()
+	if f == nil {
 		return nil
 	}
-	err := l.active.Sync()
-	if cerr := l.active.Close(); err == nil {
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	l.active = nil
 	return err
 }
 

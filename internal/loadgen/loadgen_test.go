@@ -15,7 +15,7 @@ func TestClosedLoopAgainstTopology(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load smoke skipped in -short mode")
 	}
-	topo, err := StartTopology(TopologyConfig{Users: 40, Followers: 1, Seed: 7})
+	topo, err := StartTopology(context.Background(), TopologyConfig{Users: 40, Followers: 1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestOpenLoopSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load smoke skipped in -short mode")
 	}
-	topo, err := StartTopology(TopologyConfig{Users: 20, Followers: 0, Seed: 3})
+	topo, err := StartTopology(context.Background(), TopologyConfig{Users: 20, Followers: 0, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

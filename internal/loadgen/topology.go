@@ -50,21 +50,27 @@ type Topology struct {
 	tmpDir  string   // "" when the caller owns Dir
 }
 
-// serveOn runs h on l until shutdown and returns the stopper.
-func serveOn(l net.Listener, h http.Handler) func() {
+// serveOn runs h on l until shutdown and returns the stopper. The
+// graceful-drain window is bounded by ctx: when the topology's
+// lifecycle context is already cancelled, shutdown is immediate rather
+// than waiting out the grace period.
+func serveOn(ctx context.Context, l net.Listener, h http.Handler) func() {
 	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(l) }()
 	return func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		_ = srv.Shutdown(sctx)
 	}
 }
 
 // StartTopology boots the cluster and blocks until the gateway has
 // probed a healthy leader, so a load run can start cold-start-free.
-// Callers must Close it.
-func StartTopology(cfg TopologyConfig) (*Topology, error) {
+// Everything the topology runs — follower replication loops, the
+// gateway prober, the leader-wait poll — derives from ctx, so
+// cancelling it aborts both startup and the cluster itself. Callers
+// must still Close it to release listeners and state.
+func StartTopology(ctx context.Context, cfg TopologyConfig) (*Topology, error) {
 	if cfg.Users < 5 {
 		return nil, fmt.Errorf("loadgen: Users must be at least 5, got %d", cfg.Users)
 	}
@@ -109,7 +115,7 @@ func StartTopology(cfg TopologyConfig) (*Topology, error) {
 		return nil, fmt.Errorf("loadgen: %w", err)
 	}
 	leaderURL := "http://" + ll.Addr().String()
-	topo.closers = append(topo.closers, serveOn(ll, service.NewWithStore(st)))
+	topo.closers = append(topo.closers, serveOn(ctx, ll, service.NewWithStore(st)))
 
 	// The gateway's address must exist before the followers, which chain
 	// their replication through it so they can re-home after a promotion.
@@ -137,8 +143,8 @@ func StartTopology(cfg TopologyConfig) (*Topology, error) {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}
 		backends = append(backends, "http://"+fl.Addr().String())
-		stopHTTP := serveOn(fl, srv)
-		fctx, fcancel := context.WithCancel(context.Background())
+		stopHTTP := serveOn(ctx, fl, srv)
+		fctx, fcancel := context.WithCancel(ctx)
 		done := make(chan struct{})
 		go func() { fo.Run(fctx); close(done) }()
 		topo.closers = append(topo.closers, func() {
@@ -156,10 +162,10 @@ func StartTopology(cfg TopologyConfig) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	gctx, gcancel := context.WithCancel(context.Background())
+	gctx, gcancel := context.WithCancel(ctx)
 	gdone := make(chan struct{})
 	go func() { gw.Run(gctx); close(gdone) }()
-	stopGW := serveOn(gl, gw)
+	stopGW := serveOn(ctx, gl, gw)
 	topo.closers = append(topo.closers, func() {
 		gcancel()
 		<-gdone
@@ -167,7 +173,7 @@ func StartTopology(cfg TopologyConfig) (*Topology, error) {
 		stopGW()
 	})
 
-	if err := waitForLeader(gwURL, 10*time.Second); err != nil {
+	if err := waitForLeader(ctx, gwURL, 10*time.Second); err != nil {
 		return nil, err
 	}
 	ok = true
@@ -175,11 +181,15 @@ func StartTopology(cfg TopologyConfig) (*Topology, error) {
 }
 
 // waitForLeader polls /gateway/status until the probe loop has found the
-// leader (or the deadline passes).
-func waitForLeader(gwURL string, timeout time.Duration) error {
+// leader, the deadline passes, or ctx is cancelled.
+func waitForLeader(ctx context.Context, gwURL string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(gwURL + "/gateway/status")
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, gwURL+"/gateway/status", nil)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err == nil {
 			var status struct {
 				Leader string `json:"leader"`
@@ -189,8 +199,14 @@ func waitForLeader(gwURL string, timeout time.Duration) error {
 			if decErr == nil && status.Leader != "" {
 				return nil
 			}
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("loadgen: cancelled while waiting for a leader: %w", ctx.Err())
 		}
-		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("loadgen: cancelled while waiting for a leader: %w", ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 	return fmt.Errorf("loadgen: gateway found no leader within %s", timeout)
 }

@@ -1,0 +1,28 @@
+package replica
+
+// CompareSeq orders two (epoch, durable seq) positions across the
+// cluster. It returns -1, 0 or +1 as position A is behind, equal to or
+// ahead of position B.
+//
+// A durable sequence number is only meaningful within one leadership
+// epoch: after a failover, a fenced leader's seq 900 belongs to a dead
+// history and does not precede — or follow — the new leader's seq 100
+// in any useful sense. Comparing bare seqs across nodes is exactly the
+// split-brain bug this helper exists to prevent, so all cross-node
+// ordering in the gateway and replica packages goes through it: the
+// epoch decides first, and the seq breaks ties only within the same
+// epoch. The seqepoch analyzer in stgqcheck enforces this.
+func CompareSeq(epochA, seqA, epochB, seqB uint64) int {
+	switch {
+	case epochA != epochB:
+		if epochA < epochB {
+			return -1
+		}
+		return 1
+	case seqA < seqB:
+		return -1
+	case seqA > seqB:
+		return 1
+	}
+	return 0
+}

@@ -27,7 +27,9 @@ import (
 )
 
 // checkedPackages are the distributed-system packages whose exported
-// surface operators and integrators actually program against.
+// surface operators and integrators actually program against, plus the
+// CI tool packages themselves — their package docs are the tools'
+// reference manuals.
 var checkedPackages = []string{
 	"internal/gateway",
 	"internal/geo",
@@ -36,6 +38,9 @@ var checkedPackages = []string{
 	"internal/loadgen",
 	"internal/obsv",
 	"internal/service",
+	"internal/tools/benchcheck",
+	"internal/tools/docscheck",
+	"internal/tools/stgqcheck",
 }
 
 // checkedDocs are the markdown files whose links must resolve.

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// anaLockIO flags blocking I/O performed while a sync.Mutex or RWMutex
+// is held, in the packages where lock regions sit on hot paths: the
+// journal (group commit), the gateway (request routing) and the replica
+// (streaming). A fsync or an HTTP round-trip under a mutex turns every
+// other goroutine contending on that lock into a convoy behind the
+// disk or the network.
+//
+// The analysis is lexical and intra-procedural: within one function
+// body, a region starts at an X.Lock()/RLock() call and ends at the
+// matching X.Unlock()/RUnlock() (or at function end when the unlock is
+// deferred). Inside a region it flags direct calls that are blocking by
+// construction — methods like Write/Sync/Close on values the package
+// declares as *os.File, http.Client round-trips, and package-level
+// os/http helpers. Calls routed through another function are not
+// traced; the golden corpus pins exactly what is and is not caught.
+var anaLockIO = &analyzer{
+	name: "lockio",
+	desc: "no sync.Mutex/RWMutex held across blocking I/O in journal, gateway, replica",
+	run:  runLockIO,
+}
+
+var lockIODirs = []string{"internal/journal", "internal/gateway", "internal/replica"}
+
+// blockingFileMethods are os.File methods that hit the disk (or the
+// kernel on behalf of it).
+var blockingFileMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Read": true, "ReadAt": true, "ReadFrom": true,
+	"Sync": true, "Truncate": true, "Close": true,
+}
+
+// blockingClientMethods are http.Client round-trips.
+var blockingClientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// blockingPkgFuncs are package-level calls that block on disk or network.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"os": {
+		"WriteFile": true, "ReadFile": true, "Rename": true, "Remove": true,
+		"RemoveAll": true, "Create": true, "CreateTemp": true, "Open": true,
+		"OpenFile": true, "MkdirAll": true, "Mkdir": true, "Truncate": true,
+		"ReadDir": true,
+	},
+	"http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+}
+
+func runLockIO(r *repoTree) []finding {
+	var fs []finding
+	for _, dir := range lockIODirs {
+		files := r.filesUnder(dir)
+		fileNames := fileTypedNames(files)
+		clientNames := clientTypedNames(files)
+		for _, f := range files {
+			for _, decl := range f.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fs = append(fs, lockRegionsInFunc(r, fd, fileNames, clientNames)...)
+			}
+		}
+	}
+	return fs
+}
+
+// fileTypedNames collects identifiers the package declares as *os.File —
+// struct fields, package vars, params and results — so a method call on
+// such a name can be treated as file I/O without full type inference.
+// os.Create/Open/OpenFile/CreateTemp assignment targets count too.
+func fileTypedNames(files []*srcFile) map[string]bool {
+	return typedNames(files, "os", "File", map[string]bool{
+		"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	})
+}
+
+// clientTypedNames collects identifiers declared as http.Client.
+func clientTypedNames(files []*srcFile) map[string]bool {
+	return typedNames(files, "http", "Client", nil)
+}
+
+func typedNames(files []*srcFile, pkg, typ string, ctors map[string]bool) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range files {
+		ast.Inspect(f.ast, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Field:
+				if typeIsNamed(x.Type, pkg, typ) {
+					for _, name := range x.Names {
+						names[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if x.Type != nil && typeIsNamed(x.Type, pkg, typ) {
+					for _, name := range x.Names {
+						names[name.Name] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if ctors == nil || len(x.Rhs) != 1 {
+					return true
+				}
+				call, ok := x.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !ctors[sel.Sel.Name] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != pkg {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					if n := terminalName(lhs); n != "" && n != "err" && n != "_" {
+						names[n] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// lockRegion is one held-lock span within a function body.
+type lockRegion struct {
+	recv string    // flattened receiver text of the Lock call, e.g. "l.mu"
+	from token.Pos // just after the Lock call
+	to   token.Pos // the matching Unlock, or function end if deferred
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockRegionsInFunc computes the lexical lock regions of one function
+// and flags blocking calls inside them.
+func lockRegionsInFunc(r *repoTree, fd *ast.FuncDecl, fileNames, clientNames map[string]bool) []finding {
+	type event struct {
+		pos      token.Pos
+		recv     string
+		lock     bool
+		deferred bool
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if recv, m := mutexCall(x.Call); m != "" && unlockMethods[m] {
+				events = append(events, event{pos: x.Pos(), recv: recv, deferred: true})
+				return false
+			}
+		case *ast.CallExpr:
+			if recv, m := mutexCall(x); m != "" {
+				events = append(events, event{pos: x.Pos(), recv: recv, lock: lockMethods[m]})
+			}
+		}
+		return true
+	})
+
+	var regions []lockRegion
+	for i, ev := range events {
+		if !ev.lock {
+			continue
+		}
+		reg := lockRegion{recv: ev.recv, from: ev.pos, to: fd.Body.End()}
+		for _, later := range events[i+1:] {
+			if later.recv != ev.recv || later.lock {
+				continue
+			}
+			if !later.deferred {
+				reg.to = later.pos
+			}
+			break
+		}
+		regions = append(regions, reg)
+	}
+	if len(regions) == 0 {
+		return nil
+	}
+
+	var fs []finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc := blockingCallDesc(call, fileNames, clientNames)
+		if desc == "" {
+			return true
+		}
+		for _, reg := range regions {
+			if call.Pos() > reg.from && call.Pos() < reg.to {
+				fs = append(fs, finding{pos: r.position(call.Pos()), analyzer: "lockio",
+					msg: desc + " while holding " + reg.recv + " (locked at line " +
+						itoa(r.position(reg.from).Line) + "); move the I/O outside the critical section"})
+				break
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// mutexCall decodes a call of form X.Lock/RLock/Unlock/RUnlock and
+// returns the flattened receiver text and the method name.
+func mutexCall(call *ast.CallExpr) (recv, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	m := sel.Sel.Name
+	if !lockMethods[m] && !unlockMethods[m] {
+		return "", ""
+	}
+	// Require the receiver chain to end in a mutex-ish name (mu, lock,
+	// *Mu, *Mutex) so Lock() on unrelated types is not misread.
+	t := strings.ToLower(terminalName(sel.X))
+	if t != "mu" && t != "lock" && !strings.HasSuffix(t, "mu") && !strings.HasSuffix(t, "mutex") {
+		return "", ""
+	}
+	return exprText(sel.X), m
+}
+
+// blockingCallDesc classifies a call as blocking I/O, returning a short
+// description, or "" when it is not.
+func blockingCallDesc(call *ast.CallExpr, fileNames, clientNames map[string]bool) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	m := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if funcs, isPkg := blockingPkgFuncs[id.Name]; isPkg && funcs[m] {
+			return id.Name + "." + m + " call"
+		}
+	}
+	recv := terminalName(sel.X)
+	if blockingFileMethods[m] && fileNames[recv] {
+		return "file I/O " + exprText(sel.X) + "." + m
+	}
+	if blockingClientMethods[m] && clientNames[recv] {
+		return "HTTP round-trip " + exprText(sel.X) + "." + m
+	}
+	return ""
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// anaMetricNames vets every obsv metric registration in the tree. The
+// obsv registry panics at runtime on an invalid or duplicate Prometheus
+// name — by design, because a bad registration is a programming error —
+// but a panic on first scrape is a production incident where a CI
+// failure would have been a red X. Registration literals must be:
+//
+//   - string literals (a computed name cannot be vetted, or grepped for
+//     when an alert fires);
+//   - stgq_-prefixed, the project's metric namespace;
+//   - valid Prometheus metric names ([a-zA-Z_:][a-zA-Z0-9_:]*);
+//   - unique across the whole repository, since every package registers
+//     into the shared default registry.
+//
+// The obsv package itself is exempt: it is the implementation, not a
+// registration site.
+var anaMetricNames = &analyzer{
+	name: "metricnames",
+	desc: "obsv registrations are stgq_-prefixed, Prometheus-valid, unique literals",
+	run:  runMetricNames,
+}
+
+// metricCtors are the obsv constructor method names whose first
+// argument is the metric name.
+var metricCtors = map[string]bool{
+	"NewCounter":      true,
+	"NewGauge":        true,
+	"NewHistogram":    true,
+	"NewCounterVec":   true,
+	"NewHistogramVec": true,
+}
+
+func runMetricNames(r *repoTree) []finding {
+	var fs []finding
+	type site struct {
+		name string
+		f    finding
+	}
+	var sites []site
+	for _, f := range r.allFiles() {
+		if strings.HasPrefix(f.path, "internal/obsv/") {
+			continue
+		}
+		ast.Inspect(f.ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricCtors[sel.Sel.Name] {
+				return true
+			}
+			pos := r.position(call.Pos())
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				fs = append(fs, finding{pos: pos, analyzer: "metricnames",
+					msg: sel.Sel.Name + " name must be a string literal so it can be vetted and grepped"})
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !strings.HasPrefix(name, "stgq_") {
+				fs = append(fs, finding{pos: pos, analyzer: "metricnames",
+					msg: "metric " + strconv.Quote(name) + " is not stgq_-prefixed; all project metrics share the stgq_ namespace"})
+			}
+			if !validPromName(name) {
+				fs = append(fs, finding{pos: pos, analyzer: "metricnames",
+					msg: "metric " + strconv.Quote(name) + " is not a valid Prometheus name ([a-zA-Z_:][a-zA-Z0-9_:]*); obsv would panic at registration"})
+			}
+			sites = append(sites, site{name: name, f: finding{pos: pos, analyzer: "metricnames"}})
+			return true
+		})
+	}
+	// Duplicates across the whole tree: report every site after the
+	// first, pointing back at it.
+	sort.SliceStable(sites, func(i, j int) bool {
+		if sites[i].f.pos.Filename != sites[j].f.pos.Filename {
+			return sites[i].f.pos.Filename < sites[j].f.pos.Filename
+		}
+		return sites[i].f.pos.Line < sites[j].f.pos.Line
+	})
+	first := map[string]finding{}
+	for _, s := range sites {
+		prev, seen := first[s.name]
+		if !seen {
+			first[s.name] = s.f
+			continue
+		}
+		f := s.f
+		f.msg = "duplicate metric name " + strconv.Quote(s.name) + " (first registered at " +
+			prev.pos.Filename + ":" + itoa(prev.pos.Line) + "); obsv would panic at registration"
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// validPromName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_', c == ':':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// anaMutwiring enforces the "new mutation record is wired everywhere"
+// invariant. A new stgq.Mut* kind must be threaded through the journal
+// codec's encode AND decode switches, the store replay switch, the
+// replica wire conversion, and the dataset snapshot format — PR 8's
+// MutSetLocation touched all five, and forgetting any one is silent
+// data loss (a record that recovers as garbage, or a snapshot that
+// drops state the journal held). Concretely:
+//
+//  1. Every switch statement that mentions any Mut* constant must
+//     mention ALL of them — a default clause does not count, because
+//     the default is exactly where a forgotten record falls through.
+//  2. The known wiring sites must keep existing (a refactor that
+//     deletes the codec decode switch should fail loudly, not pass
+//     vacuously).
+//  3. Every exported field of stgq.Mutation must be carried by the
+//     replica wire (toWire and fromWire), and every exported field of
+//     dataset.Dataset by the snapshot serialization (Save and Load) —
+//     the field-level half of the wiring, which switches cannot see.
+var anaMutwiring = &analyzer{
+	name: "mutwiring",
+	desc: "every stgq.Mut* kind wired through codec, replay, replica wire and dataset format",
+	run:  runMutwiring,
+}
+
+// mutSwitchSites are (directory, function) pairs that must each contain
+// a MutationOp switch: the codec's encode and decode paths and the
+// store's replay dispatcher.
+var mutSwitchSites = []struct{ dir, fn string }{
+	{"internal/journal", "appendFrame"},
+	{"internal/journal", "decodePayload"},
+	{"internal/journal", "apply"},
+}
+
+// mutFieldSites are (directory, function, source-struct) triples: the
+// function must reference every exported field of the struct, either as
+// a selector read or a composite-literal key.
+var mutFieldSites = []struct {
+	dir, fn             string
+	structDir, typeName string
+	what                string
+}{
+	{"internal/replica", "toWire", "", "Mutation", "replica wire encode"},
+	{"internal/replica", "fromWire", "", "Mutation", "replica wire decode"},
+	{"internal/dataset", "Save", "internal/dataset", "Dataset", "dataset snapshot encode"},
+	{"internal/dataset", "Load", "internal/dataset", "Dataset", "dataset snapshot decode"},
+}
+
+func runMutwiring(r *repoTree) []finding {
+	var fs []finding
+	ops := mutationOps(r)
+	if len(ops) == 0 {
+		return []finding{{analyzer: "mutwiring",
+			msg: "no Mut* constants of type MutationOp found in the repository root package"}}
+	}
+
+	// 1+2: switch exhaustiveness and site presence.
+	type siteKey struct{ dir, fn string }
+	sitesSeen := map[siteKey]bool{}
+	for dir, files := range r.dirs {
+		for _, f := range files {
+			for _, decl := range f.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok {
+						return true
+					}
+					mentioned := switchCaseNames(sw)
+					if !mentionsAny(mentioned, ops) {
+						return true
+					}
+					sitesSeen[siteKey{dir, fd.Name.Name}] = true
+					for _, op := range ops {
+						if !mentioned[op] {
+							fs = append(fs, finding{pos: r.position(sw.Pos()), analyzer: "mutwiring",
+								msg: "MutationOp switch in " + fd.Name.Name + " does not handle " + op +
+									" (a default clause does not count)"})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, site := range mutSwitchSites {
+		if !sitesSeen[siteKey{site.dir, site.fn}] {
+			fs = append(fs, finding{analyzer: "mutwiring",
+				msg: "required wiring site missing: no MutationOp switch in " + site.dir + "." + site.fn})
+		}
+	}
+
+	// 3: field carriage through the wire and snapshot formats.
+	for _, site := range mutFieldSites {
+		fields := structFields(r, site.structDir, site.typeName)
+		if len(fields) == 0 {
+			fs = append(fs, finding{analyzer: "mutwiring",
+				msg: "cannot find struct " + site.typeName + " for the " + site.what + " check"})
+			continue
+		}
+		fn, pos := findFunc(r, site.dir, site.fn)
+		if fn == nil {
+			fs = append(fs, finding{analyzer: "mutwiring",
+				msg: "required wiring site missing: no function " + site.fn + " in " + site.dir})
+			continue
+		}
+		carried := namesReferenced(fn)
+		for _, field := range fields {
+			if !carried[field] {
+				fs = append(fs, finding{pos: pos, analyzer: "mutwiring",
+					msg: site.what + ": " + site.fn + " does not carry " + site.typeName + " field " + field})
+			}
+		}
+	}
+	return fs
+}
+
+// mutationOps enumerates the Mut* constants declared with type
+// MutationOp in the repository root package, sorted by name.
+func mutationOps(r *repoTree) []string {
+	var ops []string
+	for _, f := range r.dirs[""] {
+		for _, decl := range f.ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			inBlock := false
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if vs.Type != nil {
+					id, ok := vs.Type.(*ast.Ident)
+					inBlock = ok && id.Name == "MutationOp"
+				}
+				if !inBlock {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Mut") {
+						ops = append(ops, name.Name)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// switchCaseNames collects the terminal names of every case expression
+// (stgq.MutConnect and MutConnect both yield "MutConnect").
+func switchCaseNames(sw *ast.SwitchStmt) map[string]bool {
+	names := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if n := terminalName(e); n != "" {
+				names[n] = true
+			}
+		}
+	}
+	return names
+}
+
+func mentionsAny(set map[string]bool, names []string) bool {
+	for _, n := range names {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// structFields returns the exported field names of the struct typeName
+// declared in dir ("" = repo root).
+func structFields(r *repoTree, dir, typeName string) []string {
+	var fields []string
+	for _, f := range r.dirs[dir] {
+		ast.Inspect(f.ast, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					if name.IsExported() {
+						fields = append(fields, name.Name)
+					}
+				}
+			}
+			return false
+		})
+	}
+	sort.Strings(fields)
+	return fields
+}
+
+// findFunc locates a function or method by name in dir.
+func findFunc(r *repoTree, dir, name string) (*ast.FuncDecl, token.Position) {
+	for _, f := range r.dirs[dir] {
+		for _, decl := range f.ast.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return fd, r.position(fd.Pos())
+			}
+		}
+	}
+	return nil, token.Position{}
+}
+
+// namesReferenced collects every selector field name and composite-
+// literal key used in a function body — the "does this function touch
+// field X" relation the carriage checks test.
+func namesReferenced(fn *ast.FuncDecl) map[string]bool {
+	names := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			names[x.Sel.Name] = true
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding is one analyzer diagnostic at a source position.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+// String renders the diagnostic as "file:line: [analyzer] message".
+func (f finding) String() string {
+	if f.pos.Filename == "" {
+		return fmt.Sprintf("[%s] %s", f.analyzer, f.msg)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.analyzer, f.msg)
+}
+
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].pos.Filename != fs[j].pos.Filename {
+			return fs[i].pos.Filename < fs[j].pos.Filename
+		}
+		if fs[i].pos.Line != fs[j].pos.Line {
+			return fs[i].pos.Line < fs[j].pos.Line
+		}
+		return fs[i].msg < fs[j].msg
+	})
+}
+
+// srcFile is one parsed non-test Go file.
+type srcFile struct {
+	path string // root-relative, slash-separated
+	ast  *ast.File
+}
+
+// repoTree is the parsed repository every analyzer runs over: all
+// non-test Go files, grouped by directory ("" is the repo root). Test
+// files are exempt — they exercise invariants rather than carry them —
+// and directories named testdata (golden corpora), vendor or .git are
+// skipped, as the Go toolchain itself would.
+type repoTree struct {
+	root string
+	fset *token.FileSet
+	dirs map[string][]*srcFile // rel dir → files sorted by path
+}
+
+// skippedDirs are directory basenames never scanned.
+var skippedDirs = map[string]bool{
+	"testdata":     true,
+	"vendor":       true,
+	".git":         true,
+	"node_modules": true,
+}
+
+// loadRepo parses every non-test Go file under root.
+func loadRepo(root string) (*repoTree, error) {
+	r := &repoTree{root: root, fset: token.NewFileSet(), dirs: map[string][]*srcFile{}}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skippedDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(r.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		if dir == "." {
+			dir = ""
+		}
+		r.dirs[dir] = append(r.dirs[dir], &srcFile{path: rel, ast: f})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.dirs) == 0 {
+		return nil, fmt.Errorf("no Go files under %s", root)
+	}
+	for _, files := range r.dirs {
+		sort.Slice(files, func(i, j int) bool { return files[i].path < files[j].path })
+	}
+	return r, nil
+}
+
+// filesUnder returns the files of every directory equal to or nested
+// inside one of the given root-relative prefixes, in stable order.
+func (r *repoTree) filesUnder(prefixes ...string) []*srcFile {
+	var dirs []string
+	for dir := range r.dirs {
+		for _, p := range prefixes {
+			if dir == p || strings.HasPrefix(dir, p+"/") {
+				dirs = append(dirs, dir)
+				break
+			}
+		}
+	}
+	sort.Strings(dirs)
+	var out []*srcFile
+	for _, d := range dirs {
+		out = append(out, r.dirs[d]...)
+	}
+	return out
+}
+
+// allFiles returns every parsed file in stable directory/file order.
+func (r *repoTree) allFiles() []*srcFile {
+	dirs := make([]string, 0, len(r.dirs))
+	for d := range r.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var out []*srcFile
+	for _, d := range dirs {
+		out = append(out, r.dirs[d]...)
+	}
+	return out
+}
+
+// position resolves an AST position against the fileset.
+func (r *repoTree) position(pos token.Pos) token.Position { return r.fset.Position(pos) }
+
+// exprText renders an identifier/selector chain ("f.st.mu") for receiver
+// matching; anything more exotic collapses to "?".
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X)
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	}
+	return "?"
+}
+
+// terminalName returns the last name of an identifier/selector chain:
+// "f.st.active" → "active". Empty when the expression has no such name.
+func terminalName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return terminalName(x.X)
+	case *ast.StarExpr:
+		return terminalName(x.X)
+	}
+	return ""
+}
+
+// typeIsNamed reports whether a field/param type expression denotes
+// pkg.Name, optionally behind a pointer.
+func typeIsNamed(t ast.Expr, pkg, name string) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == name
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces an inline suppression:
+//
+//	//stgqcheck:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a suppression without a recorded "why" is how
+// exceptions rot into policy.
+const ignorePrefix = "stgqcheck:ignore"
+
+// directive is one parsed suppression.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// collectDirectives parses every well-formed suppression in the tree,
+// in stable order. Malformed directives are NOT returned here — they
+// surface as findings via applySuppressions.
+func collectDirectives(r *repoTree) []directive {
+	ds, _ := scanDirectives(r)
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].pos.Filename != ds[j].pos.Filename {
+			return ds[i].pos.Filename < ds[j].pos.Filename
+		}
+		return ds[i].pos.Line < ds[j].pos.Line
+	})
+	return ds
+}
+
+func scanDirectives(r *repoTree) ([]directive, []finding) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.name] = true
+	}
+	var ds []directive
+	var bad []finding
+	for _, f := range r.allFiles() {
+		for _, cg := range f.ast.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := r.position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, finding{pos: pos, analyzer: "directive",
+						msg: "malformed suppression: want //stgqcheck:ignore <analyzer> <reason>"})
+				case !known[fields[0]]:
+					bad = append(bad, finding{pos: pos, analyzer: "directive",
+						msg: "suppression names unknown analyzer " + fields[0]})
+				case len(fields) < 2:
+					bad = append(bad, finding{pos: pos, analyzer: "directive",
+						msg: "suppression for " + fields[0] + " has no reason; the reason is mandatory"})
+				default:
+					ds = append(ds, directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+				}
+			}
+		}
+	}
+	return ds, bad
+}
+
+// applySuppressions removes findings covered by a directive on the same
+// or preceding line, adds findings for malformed directives, and — for
+// every analyzer that actually ran — reports stale directives that no
+// longer suppress anything, so the suppression list cannot accumulate
+// silently. It returns the surviving findings and the used directives.
+func applySuppressions(r *repoTree, fs []finding, ran []string) ([]finding, []directive) {
+	ds, bad := scanDirectives(r)
+	ranSet := map[string]bool{}
+	for _, n := range ran {
+		ranSet[n] = true
+	}
+	used := make([]bool, len(ds))
+	var kept []finding
+	for _, f := range fs {
+		suppressed := false
+		for i, d := range ds {
+			if d.analyzer == f.analyzer && d.pos.Filename == f.pos.Filename &&
+				(d.pos.Line == f.pos.Line || d.pos.Line == f.pos.Line-1) {
+				suppressed = true
+				used[i] = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	kept = append(kept, bad...)
+	var usedDs []directive
+	for i, d := range ds {
+		if used[i] {
+			usedDs = append(usedDs, d)
+			continue
+		}
+		if ranSet[d.analyzer] {
+			kept = append(kept, finding{pos: d.pos, analyzer: "directive",
+				msg: "stale suppression: " + d.analyzer + " reports nothing here; remove the directive"})
+		}
+	}
+	return kept, usedDs
+}

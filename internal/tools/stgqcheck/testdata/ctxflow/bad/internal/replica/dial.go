@@ -1,0 +1,22 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+)
+
+// reconnect mints its own root context and uses the context-less
+// http.Get: shutdown cannot cancel this dial.
+func reconnect(url string) error {
+	ctx := context.Background()
+	_ = ctx
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func todoCtx() context.Context {
+	return context.TODO()
+}

@@ -1,0 +1,26 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+)
+
+// reconnect runs under its caller's context, so cancelling it aborts
+// the in-flight dial.
+func reconnect(ctx context.Context, target string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// param calls .Get on a non-http receiver: must not be flagged.
+func param(v url.Values) string {
+	return v.Get("epoch")
+}

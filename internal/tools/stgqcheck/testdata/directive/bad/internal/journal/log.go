@@ -1,0 +1,26 @@
+package journal
+
+import "sync"
+
+// Log collects every way a suppression directive can itself be wrong.
+type Log struct {
+	mu   sync.Mutex
+	size int64
+}
+
+// Grow has no lockio violation, so its directive is stale.
+func (l *Log) Grow(n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//stgqcheck:ignore lockio there is nothing to suppress here
+	l.size += n
+}
+
+//stgqcheck:ignore
+func a() {}
+
+//stgqcheck:ignore nosuchanalyzer some reason
+func b() {}
+
+//stgqcheck:ignore lockio
+func c() {}

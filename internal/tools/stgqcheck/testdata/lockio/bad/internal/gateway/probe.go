@@ -1,0 +1,25 @@
+package gateway
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Prober probes backends.
+type Prober struct {
+	mu     sync.Mutex
+	client http.Client
+	last   string
+}
+
+// Probe holds the lock across an HTTP round-trip.
+func (p *Prober) Probe(url string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return err
+	}
+	p.last = url
+	return resp.Body.Close()
+}

@@ -1,0 +1,26 @@
+package gateway
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Prober probes backends.
+type Prober struct {
+	mu     sync.Mutex
+	client http.Client
+	last   string
+}
+
+// Probe does the round-trip first and takes the lock only to record the
+// result.
+func (p *Prober) Probe(url string) error {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.last = url
+	p.mu.Unlock()
+	return resp.Body.Close()
+}

@@ -1,0 +1,14 @@
+package service
+
+import "corpuslib/obsv"
+
+var (
+	mBad     = obsv.NewCounter("requests_total", "missing the stgq_ prefix")
+	mInvalid = obsv.NewCounter("stgq_bad-name", "dash is not a valid prometheus rune")
+	mDupA    = obsv.NewGauge("stgq_queue_depth", "first registration")
+	mDupB    = obsv.NewGauge("stgq_queue_depth", "duplicate registration panics at runtime")
+)
+
+func dynamic(name string) {
+	obsv.NewCounter(name, "computed names cannot be vetted or grepped")
+}

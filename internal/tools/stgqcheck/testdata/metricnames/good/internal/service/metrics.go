@@ -1,0 +1,9 @@
+package service
+
+import "corpuslib/obsv"
+
+var (
+	mRequests = obsv.NewCounter("stgq_requests_total", "requests served")
+	mDepth    = obsv.NewGauge("stgq_queue_depth", "queued batches")
+	mLatency  = obsv.NewHistogram("stgq_latency_seconds", "request latency", nil)
+)

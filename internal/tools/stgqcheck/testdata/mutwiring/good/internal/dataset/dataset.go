@@ -1,0 +1,22 @@
+package dataset
+
+// Dataset is the snapshot payload.
+type Dataset struct {
+	Graph []string
+	Days  int
+}
+
+type fileFormat struct {
+	Graph []string
+	Days  int
+}
+
+// Save serializes d.
+func Save(d Dataset) fileFormat {
+	return fileFormat{Graph: d.Graph, Days: d.Days}
+}
+
+// Load deserializes f.
+func Load(f fileFormat) Dataset {
+	return Dataset{Graph: f.Graph, Days: f.Days}
+}

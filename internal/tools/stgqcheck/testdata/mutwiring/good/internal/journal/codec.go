@@ -1,0 +1,38 @@
+package journal
+
+import corpus "corpuslib"
+
+func appendFrame(m corpus.Mutation) byte {
+	switch m.Op {
+	case corpus.MutAdd:
+		return 1
+	case corpus.MutDel:
+		return 2
+	case corpus.MutSet:
+		return 3
+	}
+	return 0
+}
+
+func decodePayload(m corpus.Mutation) bool {
+	switch m.Op {
+	case corpus.MutAdd, corpus.MutDel:
+		return true
+	case corpus.MutSet:
+		return m.X >= 0
+	default:
+		return false
+	}
+}
+
+func apply(m corpus.Mutation) int {
+	switch m.Op {
+	case corpus.MutAdd:
+		return 1
+	case corpus.MutDel:
+		return -1
+	case corpus.MutSet:
+		return 0
+	}
+	return 0
+}

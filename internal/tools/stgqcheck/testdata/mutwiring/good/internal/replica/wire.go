@@ -1,0 +1,17 @@
+package replica
+
+import corpus "corpuslib"
+
+type wireMsg struct {
+	Op   corpus.MutationOp
+	Name string
+	X    float64
+}
+
+func toWire(m corpus.Mutation) wireMsg {
+	return wireMsg{Op: m.Op, Name: m.Name, X: m.X}
+}
+
+func fromWire(w wireMsg) corpus.Mutation {
+	return corpus.Mutation{Op: w.Op, Name: w.Name, X: w.X}
+}

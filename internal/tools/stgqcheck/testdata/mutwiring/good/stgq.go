@@ -1,0 +1,20 @@
+// Package corpus is a conforming mutwiring example: every mutation kind
+// is wired through every serialization surface.
+package corpus
+
+// MutationOp tags a mutation record.
+type MutationOp uint8
+
+// The mutation kinds.
+const (
+	MutAdd MutationOp = iota + 1
+	MutDel
+	MutSet
+)
+
+// Mutation is one replicated state change.
+type Mutation struct {
+	Op   MutationOp
+	Name string
+	X    float64
+}

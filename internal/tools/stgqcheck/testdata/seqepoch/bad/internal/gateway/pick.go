@@ -1,0 +1,22 @@
+package gateway
+
+type health struct {
+	Epoch      uint64
+	DurableSeq uint64
+}
+
+// pick ranks candidates by bare durable seq: across a failover this
+// resurrects a fenced leader's longer, dead history.
+func pick(hs []health) health {
+	var best health
+	for _, h := range hs {
+		if h.DurableSeq > best.DurableSeq {
+			best = h
+		}
+	}
+	return best
+}
+
+func behind(a, b health) bool {
+	return a.DurableSeq < b.DurableSeq
+}

@@ -1,0 +1,37 @@
+package gateway
+
+type health struct {
+	Epoch      uint64
+	DurableSeq uint64
+}
+
+// pick orders candidates epoch-first through the comparison helper.
+func pick(hs []health) health {
+	var best health
+	for _, h := range hs {
+		if compareSeq(h.Epoch, h.DurableSeq, best.Epoch, best.DurableSeq) > 0 {
+			best = h
+		}
+	}
+	return best
+}
+
+// caughtUp is an equality test, not an ordering: allowed.
+func caughtUp(a, b health) bool {
+	return a.Epoch == b.Epoch && a.DurableSeq == b.DurableSeq
+}
+
+func compareSeq(epochA, seqA, epochB, seqB uint64) int {
+	switch {
+	case epochA != epochB:
+		if epochA < epochB {
+			return -1
+		}
+		return 1
+	case seqA < seqB:
+		return -1
+	case seqA > seqB:
+		return 1
+	}
+	return 0
+}
