@@ -41,21 +41,23 @@ bench:
 	$(BENCH_ENV) $(GO) test -bench=. -benchmem -run=^$$ ./...
 	$(MAKE) bench-check
 
-# One-iteration smoke of the hot write, proxy and spatial-index paths:
-# catches a broken journal append, gateway proxy pipeline or grid query at
-# build time without the cost of a real benchmark run. Leaves validated
-# BENCH_journal.json, BENCH_gateway.json and BENCH_geo.json in the repo
+# One-iteration smoke of the hot write, proxy, spatial-index and indexed
+# engine paths: catches a broken journal append, gateway proxy pipeline,
+# grid query or availability-index fast path at build time without the
+# cost of a real benchmark run. Leaves validated BENCH_journal.json,
+# BENCH_gateway.json, BENCH_geo.json and BENCH_engine.json in the repo
 # root (CI archives them as artifacts).
 bench-smoke:
 	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkJournalAppend$$' -benchtime=1x .
 	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkGatewayProxyOverhead$$' -benchtime=1x ./internal/gateway
 	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkGeoGrid$$' -benchtime=1x ./internal/geo
+	$(BENCH_ENV) $(GO) test -run='^$$' -bench='^BenchmarkSTGSelect$$' -benchtime=1x .
 	$(MAKE) bench-check
 
 # Validate the emitted benchmark reports: parseable, named, positive
 # ns/op, at least one populated histogram each.
 bench-check:
-	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json BENCH_geo.json
+	$(GO) run ./internal/tools/benchcheck BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_engine.json
 
 # A ≤30s closed-loop load run against an in-process 3-node cluster
 # (leader, two followers, gateway): cmd/stgqload drives the mixed
@@ -65,7 +67,7 @@ bench-check:
 load-smoke:
 	STGQ_BENCH_TS=$$(date -u +%Y-%m-%dT%H:%M:%SZ) $(GO) run ./cmd/stgqload \
 		-users 300 -followers 2 -duration 5s -mode closed -concurrency 8 \
-		-seed 1 -out $(CURDIR)/BENCH_load.json
+		-seed 1 -require-cache-hits -out $(CURDIR)/BENCH_load.json
 	$(GO) run ./internal/tools/benchcheck BENCH_load.json
 
 # Perf trajectory (operator-run, not CI: smoke-run ns/op is too noisy to
@@ -73,13 +75,13 @@ load-smoke:
 # committed baselines in bench/baseline at the default 20% tolerance.
 bench-regress:
 	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline \
-		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_load.json
+		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_engine.json BENCH_load.json
 
 # Refresh the committed baselines from the current reports (run on the
 # reference machine after a deliberate perf change; commit the result).
 bench-rebaseline:
 	$(GO) run ./internal/tools/benchcheck -baseline bench/baseline -update \
-		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_load.json
+		BENCH_journal.json BENCH_gateway.json BENCH_geo.json BENCH_engine.json BENCH_load.json
 
 # The leader-kill acceptance scenario: auto-failover promotes a follower,
 # writes resume at the new epoch with zero acknowledged loss, and the

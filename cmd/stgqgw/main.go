@@ -26,6 +26,15 @@
 // held at a follower-side read barrier until one catches up, or served
 // by the leader. See docs/consistency.md for the exact contract.
 //
+// Queries are also served from a seq-keyed result cache when an
+// identical query was answered recently enough — an entry is re-served
+// only to readers whose read-your-writes floor and staleness bound its
+// stamped (epoch, seq) position already satisfies, so caching never
+// weakens the consistency contract. Identical in-flight queries are
+// collapsed onto one backend fetch. -cache-size bounds the cache
+// (negative disables it); -cache-ttl is the wall-clock backstop. Cache
+// responses carry X-STGQ-Cache: hit (or "collapsed").
+//
 // With -auto-failover <grace>, a cluster whose leader has been
 // unreachable for the grace period is failed over automatically: the
 // gateway promotes the most caught-up healthy follower (POST /promote)
@@ -75,6 +84,8 @@ func main() {
 		sessions   = flag.Int("sessions", 0, "max tracked read-your-writes sessions (X-STGQ-Session; 0: default 4096, negative: disable tracking)")
 		probeEvery = flag.Duration("probe-every", gateway.DefaultProbeInterval, "backend /status polling interval")
 		failAfter  = flag.Duration("auto-failover", 0, "promote the most caught-up follower after the leader has been unreachable this long (0: manual failover only)")
+		cacheSize  = flag.Int("cache-size", 0, "max cached query results (0: default 512, negative: disable the result cache)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "wall-clock backstop on cached query results (0: default 1s)")
 		drainFor   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		slowReq    = flag.Duration("slow-request", service.DefaultSlowRequest, "log proxied requests slower than this with their X-STGQ-Request-ID (negative: disable)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled)")
@@ -91,6 +102,8 @@ func main() {
 		SessionCap:    *sessions,
 		ProbeInterval: *probeEvery,
 		AutoFailover:  *failAfter,
+		CacheSize:     *cacheSize,
+		CacheTTL:      *cacheTTL,
 		SlowRequest:   *slowReq,
 	})
 	if err != nil {

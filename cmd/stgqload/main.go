@@ -9,7 +9,7 @@
 //
 //	stgqload [-target URL] [-mode closed|open] [-duration 10s]
 //	         [-concurrency 8] [-rate 50] [-users 1000] [-followers 2]
-//	         [-days 2] [-seed 1] [-out BENCH_load.json]
+//	         [-days 2] [-seed 1] [-out BENCH_load.json] [-require-cache-hits]
 //
 // With -target "" (the default) an in-process cluster seeded with a
 // synthetic population of -users people is booted for the run — the
@@ -44,6 +44,9 @@ func main() {
 		days        = flag.Int("days", 2, "in-process cluster schedule horizon in days (ignored with -target)")
 		seed        = flag.Int64("seed", 1, "workload (and in-process dataset) seed")
 		out         = flag.String("out", "BENCH_load.json", "report output path")
+		requireHits = flag.Bool("require-cache-hits", false,
+			"fail the run if the repeat_read class saw zero gateway result-cache hits "+
+				"(the load-smoke assertion that the cache actually serves)")
 	)
 	flag.Parse()
 
@@ -53,7 +56,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *target, *mode, *duration, *concurrency, *rate, *users, *followers, *days, *seed, *out); err != nil {
+	if err := run(ctx, *target, *mode, *duration, *concurrency, *rate, *users, *followers, *days, *seed, *out, *requireHits); err != nil {
 		fmt.Fprintln(os.Stderr, "stgqload:", err)
 		os.Exit(1)
 	}
@@ -62,7 +65,7 @@ func main() {
 // run boots the topology if needed, drives the workload and writes the
 // report.
 func run(ctx context.Context, target, mode string, duration time.Duration, concurrency int, rate float64,
-	users, followers, days int, seed int64, out string) error {
+	users, followers, days int, seed int64, out string, requireHits bool) error {
 	horizon := 0
 	if target == "" {
 		fmt.Fprintf(os.Stderr, "stgqload: booting in-process cluster (%d users, %d followers)\n",
@@ -116,5 +119,20 @@ func run(ctx context.Context, target, mode string, duration time.Duration, concu
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "stgqload: wrote %s\n", out)
+
+	// The write above happens first on purpose: a failed assertion still
+	// leaves the full report behind for diagnosis.
+	if requireHits {
+		cs := rep.Classes[loadgen.ClassRepeatRead]
+		if cs.Ops == 0 {
+			return fmt.Errorf("-require-cache-hits: the %s class issued no ops (mix weight zero?)", loadgen.ClassRepeatRead)
+		}
+		if cs.CacheHits == 0 {
+			return fmt.Errorf("-require-cache-hits: %d %s ops, zero served from the gateway result cache",
+				cs.Ops, loadgen.ClassRepeatRead)
+		}
+		fmt.Fprintf(os.Stderr, "stgqload: cache assertion ok (%d/%d %s ops cache-served)\n",
+			cs.CacheHits, cs.Ops, loadgen.ClassRepeatRead)
+	}
 	return nil
 }

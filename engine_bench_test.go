@@ -1,0 +1,134 @@
+// Benchmarks for the seq-keyed query fast path: each engine family runs
+// the same repeated-query workload against a planner with the incremental
+// index disabled (every query recomputes availability runs and distance
+// labels from scratch) and enabled (runs answered O(1) from the index,
+// labels served from the warm cache). The indexed STGSelect series also
+// leaves BENCH_engine.json behind for benchcheck and the perf-trajectory
+// baselines in bench/baseline.
+package stgq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	stgq "repro"
+	"repro/internal/obsv"
+)
+
+// enginePlanner builds a deterministic mid-size population: a connected
+// social graph with local clustering, fragmented availability, and
+// clustered locations — enough structure that the repeated queries below
+// are usually feasible and the index has real runs and labels to serve.
+func enginePlanner(indexed bool) *stgq.Planner {
+	const n, horizon = 300, 24
+	rng := rand.New(rand.NewSource(benchSeed))
+	pl := stgq.NewPlanner(horizon)
+	if indexed {
+		pl.EnableIndex()
+	}
+	for i := 0; i < n; i++ {
+		pl.MustAddPerson(fmt.Sprintf("p%d", i))
+	}
+	for i := 1; i < n; i++ {
+		// A backbone edge plus a couple of shortcuts: small diameter,
+		// plenty of acquaintance structure near every initiator.
+		pl.Connect(stgq.PersonID(i), stgq.PersonID(i-1), float64(1+rng.Intn(5)))         //nolint:errcheck
+		pl.Connect(stgq.PersonID(i), stgq.PersonID(rng.Intn(i)), float64(1+rng.Intn(9))) //nolint:errcheck
+		if i >= 10 {
+			pl.Connect(stgq.PersonID(i), stgq.PersonID(i-10), float64(1+rng.Intn(9))) //nolint:errcheck
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Two availability windows per person, fragmenting the day so
+		// pivot-run lookups do real work.
+		from := rng.Intn(8)
+		pl.SetAvailable(stgq.PersonID(i), from, from+4+rng.Intn(6))                        //nolint:errcheck
+		pl.SetAvailable(stgq.PersonID(i), 16+rng.Intn(4), horizon-1)                       //nolint:errcheck
+		pl.SetBusy(stgq.PersonID(i), 12, 14)                                               //nolint:errcheck
+		pl.SetLocation(stgq.PersonID(i), float64(rng.Intn(1000)), float64(rng.Intn(1000))) //nolint:errcheck
+	}
+	return pl
+}
+
+// engineQueries is the repeated workload: a small initiator pool (the
+// regime the fast path targets — the same initiators asking again) with
+// lightly varied parameters.
+func engineQueries() []stgq.STGQuery {
+	rng := rand.New(rand.NewSource(benchSeed + 1))
+	qs := make([]stgq.STGQuery, 32)
+	for i := range qs {
+		qs[i] = stgq.STGQuery{
+			SGQuery: stgq.SGQuery{
+				Initiator: stgq.PersonID(rng.Intn(8)),
+				P:         4 + rng.Intn(3),
+				S:         1 + rng.Intn(2),
+				K:         1 + rng.Intn(2),
+			},
+			M: 2 + rng.Intn(3),
+		}
+	}
+	return qs
+}
+
+func benchIndexedVsRecompute(b *testing.B, run func(pl *stgq.Planner, q stgq.STGQuery)) {
+	qs := engineQueries()
+	for _, indexed := range []bool{false, true} {
+		name := "recompute"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(name, func(b *testing.B) {
+			pl := enginePlanner(indexed)
+			// Warm the label cache: the fast path is the steady state of a
+			// serving planner, not a cold start.
+			for _, q := range qs[:8] {
+				run(pl, q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(pl, qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+func BenchmarkSGSelect(b *testing.B) {
+	benchIndexedVsRecompute(b, func(pl *stgq.Planner, q stgq.STGQuery) {
+		pl.FindGroup(q.SGQuery) //nolint:errcheck — infeasibility is part of the workload
+	})
+}
+
+func BenchmarkSTGSelect(b *testing.B) {
+	benchIndexedVsRecompute(b, func(pl *stgq.Planner, q stgq.STGQuery) {
+		pl.PlanActivity(q) //nolint:errcheck
+	})
+	// Leave the indexed series' numbers plus the engine histogram snapshot
+	// on disk as BENCH_engine.json (STGQ_BENCH_OUT set by make bench /
+	// bench-smoke) for the benchcheck validator and the committed baseline.
+	b.Run("emit", func(b *testing.B) {
+		pl := enginePlanner(true)
+		qs := engineQueries()
+		for _, q := range qs[:8] {
+			pl.PlanActivity(q) //nolint:errcheck — warm the label cache, as above
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl.PlanActivity(qs[i%len(qs)]) //nolint:errcheck
+		}
+		b.StopTimer()
+		nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if path, err := obsv.EmitBench("engine", "BenchmarkSTGSelect/indexed", nsPerOp, "stgq_engine_"); err != nil {
+			b.Fatalf("emit bench report: %v", err)
+		} else if path != "" {
+			b.Logf("wrote %s", path)
+		}
+	})
+}
+
+func BenchmarkGSGSelect(b *testing.B) {
+	benchIndexedVsRecompute(b, func(pl *stgq.Planner, q stgq.STGQuery) {
+		pl.PlanGeoActivity(stgq.GSGQuery{SGQuery: q.SGQuery, M: q.M, X: 500, Y: 500, Radius: 600}) //nolint:errcheck
+	})
+}

@@ -62,6 +62,14 @@ type Options struct {
 	DisableAccessOrdering        bool
 	DisableAvailabilityPruning   bool
 	DisableTemporalExtensibility bool
+
+	// Runs, when non-nil, supplies precomputed per-user availability runs
+	// (see PivotRuns) so per-pivot candidate generation answers each
+	// vertex's Definition 4 eligibility in O(1) instead of walking its
+	// calendar row. The provider must agree exactly with the calendar
+	// passed alongside it; results are identical either way, only the
+	// candidate-generation time changes.
+	Runs PivotRuns
 }
 
 // DefaultOptions returns the configuration used throughout the paper's

@@ -160,19 +160,31 @@ func prepPivot(e *engine, cal *schedule.Calendar, calUser []int, eligible *bitse
 		if e.spat != nil && e.spat[v] < 0 {
 			continue
 		}
-		// Allocation-free eligibility test (Definition 4): walk the pivot
-		// run directly on the calendar row. A vertex busy at the pivot slot
-		// can have no m-run inside the (2m−1)-wide window.
-		row := cal.Row(calUser[v])
-		if !row.Contains(w.Pivot) {
-			continue
-		}
-		lo, hi := w.Pivot, w.Pivot
-		for lo-1 >= w.Lo && row.Contains(lo-1) {
-			lo--
-		}
-		for hi+1 < w.Hi && row.Contains(hi+1) {
-			hi++
+		// Eligibility test (Definition 4). With an availability index
+		// (Options.Runs) the maximal run containing the pivot is a
+		// precomputed O(1) lookup, clipped to the window; otherwise walk
+		// the pivot run directly on the calendar row (allocation-free).
+		// Either way, a vertex busy at the pivot slot can have no m-run
+		// inside the (2m−1)-wide window.
+		var lo, hi int
+		if e.opt.Runs != nil {
+			rl, rh, avail := e.opt.Runs.Run(calUser[v], w.Pivot)
+			if !avail {
+				continue
+			}
+			lo, hi = max(rl, w.Lo), min(rh, w.Hi-1)
+		} else {
+			row := cal.Row(calUser[v])
+			if !row.Contains(w.Pivot) {
+				continue
+			}
+			lo, hi = w.Pivot, w.Pivot
+			for lo-1 >= w.Lo && row.Contains(lo-1) {
+				lo--
+			}
+			for hi+1 < w.Hi && row.Contains(hi+1) {
+				hi++
+			}
 		}
 		if hi-lo+1 < t.m {
 			continue

@@ -111,6 +111,15 @@ type Config struct {
 	// interval plus any plausible leader GC/restart pause — promoting
 	// while the leader is merely slow forks the history.
 	AutoFailover time.Duration
+	// CacheSize bounds the query result cache (see cache.go): 0 means
+	// DefaultCacheSize, negative disables result caching entirely
+	// (in-flight collapsing included).
+	CacheSize int
+	// CacheTTL is the wall-clock backstop on result-cache entries; 0
+	// means DefaultCacheTTL. Admission is primarily by replication
+	// coordinate — see cacheAdmissible — so the TTL only bounds what
+	// floorless, unbounded readers can observe.
+	CacheTTL time.Duration
 	// Client issues the proxied requests; a default client without a
 	// global timeout (replication streams long-poll) when nil.
 	Client *http.Client
@@ -142,6 +151,8 @@ type Gateway struct {
 	// sessions maps sticky session ids to their read-your-writes floor
 	// (nil when session tracking is disabled).
 	sessions *sessionTable
+	// cache is the seq-keyed query result cache (nil when disabled).
+	cache *resultCache
 	// rywReads counts reads that carried a read-your-writes floor;
 	// rywLeaderRetries counts barrier misses (a follower answered 412)
 	// that were retried on the leader.
@@ -204,6 +215,17 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if sessionCap > 0 {
 		g.sessions = newSessionTable(sessionCap)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	if cacheSize > 0 {
+		ttl := cfg.CacheTTL
+		if ttl <= 0 {
+			ttl = DefaultCacheTTL
+		}
+		g.cache = newResultCache(cacheSize, ttl)
 	}
 	g.probeClient = &http.Client{}
 	g.leader.Store("")

@@ -267,13 +267,17 @@ func TestGatewayEndToEnd(t *testing.T) {
 
 	// 3. Kill the healthy follower mid-run: every in-flight and
 	// subsequent query must still succeed (retried once, degrading to
-	// the leader), with zero failed client requests.
+	// the leader), with zero failed client requests. Each iteration
+	// queries a different initiator so every request truly routes (an
+	// identical query could legitimately be served from the result
+	// cache, stamped with the dead follower's URL).
 	sawLeader := false
 	for i := 0; i < 20; i++ {
 		if i == 5 {
 			healthy.stop()
 		}
-		resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/activity", queryBody, nil)
+		body20 := map[string]any{"initiator": 6 + i, "p": 4, "s": 2, "k": 1, "m": 3}
+		resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/activity", body20, nil)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("query %d after follower kill: status %d: %s", i, resp.StatusCode, body)
 		}
@@ -506,10 +510,13 @@ func TestGatewayLeastPending(t *testing.T) {
 	// Occupy one follower, then drive more reads: all of them must land
 	// on the idle one. (Which follower gets the first request is
 	// selection-order dependent; pin it by sending until slow is busy.)
+	// Every request uses a distinct initiator: identical in-flight
+	// queries would be collapsed onto the occupied follower's fetch by
+	// the result cache instead of routing.
 	bg := make(chan error, 1)
 	go func() {
 		resp, err := http.Post(gts.URL+"/query/group", "application/json",
-			bytes.NewReader([]byte(`{"initiator":0,"p":2,"s":1,"k":1}`)))
+			bytes.NewReader([]byte(`{"initiator":9,"p":2,"s":1,"k":1}`)))
 		if err == nil {
 			resp.Body.Close()
 		}
@@ -524,7 +531,7 @@ func TestGatewayLeastPending(t *testing.T) {
 	before := fastHits
 	for i := 0; i < 4; i++ {
 		resp, body := doJSON(t, http.DefaultClient, http.MethodPost, gts.URL+"/query/group",
-			map[string]any{"initiator": 0, "p": 2, "s": 1, "k": 1}, nil)
+			map[string]any{"initiator": i, "p": 2, "s": 1, "k": 1}, nil)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("query: status %d: %s", resp.StatusCode, body)
 		}

@@ -35,15 +35,15 @@ type proxied struct {
 	body   []byte
 }
 
-// forwardRead proxies an idempotent read to the staleness- and
-// floor-eligible backend picked by pickRead, retrying exactly once on a
+// forwardRead serves an idempotent read: from the result cache when an
+// admissible entry exists, by joining an identical in-flight query when
+// one is running, and otherwise from the staleness- and floor-eligible
+// backend picked by pickRead (resolveRead), retrying exactly once on a
 // different backend when the first dies mid-request. Reads carrying a
 // read-your-writes floor (echoed write seq, sticky session, or explicit
 // min seq) additionally travel with an X-STGQ-Min-Seq barrier and fall
-// back to the leader on a barrier miss (relayRead).
+// back to the leader on a barrier miss.
 func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	st := obsv.StagesFrom(r.Context())
 	bound, ok := g.maxLagFor(w, r)
 	if !ok {
 		return
@@ -67,16 +67,73 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 		// cheap.
 		r.Header.Set(MinSeqHeader, strconv.FormatUint(minSeq, 10))
 	}
+	key := g.cacheKeyFor(r, body)
+	if key == "" {
+		if p, target := g.resolveRead(w, r, bound, minSeq, body); p != nil {
+			relay(w, r, p, target)
+		}
+		return
+	}
+	if e := g.cache.get(key); e != nil {
+		if g.cacheAdmissible(e, minSeq, bound) {
+			mCacheHits.Inc()
+			serveCached(w, r, e, "hit")
+			return
+		}
+		mCacheRejects.Inc()
+	}
+	mCacheMisses.Inc()
+	fl, leads := g.cache.join(key)
+	if !leads {
+		// An identical query is in flight: wait for its result, then
+		// re-check admission against this reader's own floor and bound —
+		// collapsing shares work, never consistency violations.
+		select {
+		case <-fl.done:
+			if e := fl.entry; e != nil && g.cacheAdmissible(e, minSeq, bound) {
+				mCacheCollapsed.Inc()
+				serveCached(w, r, e, "collapsed")
+				return
+			}
+		case <-r.Context().Done():
+			writeError(w, http.StatusBadGateway, "gateway: request cancelled: "+r.Context().Err().Error())
+			return
+		}
+		// Inadmissible for this reader (or the leader's fetch failed):
+		// fetch independently, without re-entering the flight table.
+		if p, target := g.resolveRead(w, r, bound, minSeq, body); p != nil {
+			relay(w, r, p, target)
+		}
+		return
+	}
+	var stored *cacheEntry
+	defer func() { g.cache.complete(key, fl, stored) }()
+	p, target := g.resolveRead(w, r, bound, minSeq, body)
+	if p == nil {
+		return
+	}
+	if stored = cacheEntryFrom(p, target); stored != nil {
+		g.cache.put(key, stored)
+	}
+	relay(w, r, p, target)
+}
+
+// resolveRead runs the backend half of a read — pick, proxy, one retry
+// on a different backend, and the read-your-writes leader fallback on a
+// barrier miss — and returns the final response plus the URL that served
+// it. A nil response means an error was already written to the client.
+func (g *Gateway) resolveRead(w http.ResponseWriter, r *http.Request, bound float64, minSeq uint64, body []byte) (*proxied, string) {
+	start := time.Now()
+	st := obsv.StagesFrom(r.Context())
 	b, _ := g.pickRead(bound, minSeq, nil)
 	if b == nil {
 		writeError(w, http.StatusServiceUnavailable, "gateway: no healthy backend for reads")
-		return
+		return nil, ""
 	}
 	p, err := g.doVia(r, b, body)
 	if err == nil {
 		noteRoute(st, start)
-		g.relayRead(w, r, p, b, minSeq, body)
-		return
+		return g.retryBarrierMiss(r, p, b, minSeq, body)
 	}
 	if r.Context().Err() != nil {
 		// The client disconnected or its deadline passed: the failure
@@ -84,20 +141,20 @@ func (g *Gateway) forwardRead(w http.ResponseWriter, r *http.Request) {
 		// on the same dead context. Don't let an impatient client blind
 		// the pool.
 		writeError(w, http.StatusBadGateway, "gateway: request cancelled: "+err.Error())
-		return
+		return nil, ""
 	}
 	b.markDown(err)
 	mReadRetries.Inc()
 	if b2, _ := g.pickRead(bound, minSeq, b); b2 != nil {
 		if p2, err2 := g.doVia(r, b2, body); err2 == nil {
 			noteRoute(st, start)
-			g.relayRead(w, r, p2, b2, minSeq, body)
-			return
+			return g.retryBarrierMiss(r, p2, b2, minSeq, body)
 		} else if r.Context().Err() == nil {
 			b2.markDown(err2)
 		}
 	}
 	writeError(w, http.StatusBadGateway, "gateway: backend unavailable: "+err.Error())
+	return nil, ""
 }
 
 // minSeqFor resolves the read-your-writes floor for one read: the
@@ -138,25 +195,23 @@ func (g *Gateway) minSeqFor(w http.ResponseWriter, r *http.Request) (minSeq uint
 	return minSeq, true
 }
 
-// relayRead writes a read response to the client, first exhausting the
-// read-your-writes fallback chain: a 412 from a follower means it could
-// not reach the barrier floor within its bounded wait, and the leader —
-// the origin of every sequence number — is retried before the client
-// ever sees the miss. Only when the leader is unknown (mid-failover) or
-// unreachable does the honest 412 (with its Retry-After) reach the
-// client.
-func (g *Gateway) relayRead(w http.ResponseWriter, r *http.Request, p *proxied, b *Backend, minSeq uint64, body []byte) {
+// retryBarrierMiss exhausts the read-your-writes fallback chain for a
+// just-proxied read: a 412 from a follower means it could not reach the
+// barrier floor within its bounded wait, and the leader — the origin of
+// every sequence number — is retried before the client ever sees the
+// miss. Only when the leader is unknown (mid-failover) or unreachable
+// does the honest 412 (with its Retry-After) remain the final response.
+func (g *Gateway) retryBarrierMiss(r *http.Request, p *proxied, b *Backend, minSeq uint64, body []byte) (*proxied, string) {
 	if minSeq > 0 && p.status == http.StatusPreconditionFailed {
 		if target := g.leaderURL(); target != "" && target != b.URL {
 			g.rywLeaderRetries.Add(1)
 			mRYWLeaderRetries.Inc()
 			if p2, err := g.doTarget(r, target, body); err == nil {
-				relay(w, r, p2, target)
-				return
+				return p2, target
 			}
 		}
 	}
-	relay(w, r, p, b.URL)
+	return p, b.URL
 }
 
 // noteSessionWrite records an acknowledged mutation's durable sequence

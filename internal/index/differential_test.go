@@ -1,0 +1,166 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// TestIncrementalMatchesRebuildEveryPrefix is the index half of the
+// fast path's differential proof: a seeded random mutation stream is
+// applied incrementally to one Index while a reference calendar tracks
+// the same edits, and after EVERY prefix the incremental state must
+// equal a full Build from the reference — every run boundary of every
+// user at every slot, plus the sequence stamp. Any drift between the
+// O(h)-per-edit maintenance and the ground truth fails with the exact
+// prefix, so a failure is immediately replayable.
+func TestIncrementalMatchesRebuildEveryPrefix(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			horizon := 16 + rng.Intn(33) // 16..48 slots
+			users := 1 + rng.Intn(6)
+			cal := schedule.NewCalendar(users, horizon)
+			ix := Build(cal, 0)
+			var seq uint64
+			for step := 0; step < 300; step++ {
+				switch op := rng.Intn(10); {
+				case op == 0: // add a person
+					cal = cal.ExtendedClone(cal.Users() + 1)
+					ix.AddPerson()
+				case op < 6: // availability edit
+					u := rng.Intn(cal.Users())
+					from := rng.Intn(horizon)
+					to := from + rng.Intn(horizon-from) + 1
+					free := rng.Intn(2) == 0
+					cal.SetRange(u, from, to, free)
+					ix.SetRange(u, from, to, free)
+				case op < 8: // graph edit: rows untouched
+					if rng.Intn(2) == 0 {
+						ix.Connect()
+					} else {
+						ix.Disconnect()
+					}
+				default: // location/policy: stamp only
+					ix.Advance()
+				}
+				seq++
+				if got := ix.Seq(); got != seq {
+					t.Fatalf("seed %d step %d: index seq %d, want %d", seed, step, got, seq)
+				}
+				diffAvail(t, seed, step, ix.AvailSnapshot(), Build(cal, seq).AvailSnapshot(), cal)
+			}
+		})
+	}
+}
+
+// diffAvail compares an incremental snapshot against a freshly rebuilt
+// one, slot by slot.
+func diffAvail(t *testing.T, seed int64, step int, got, want Avail, cal *schedule.Calendar) {
+	t.Helper()
+	if got.Users() != want.Users() {
+		t.Fatalf("seed %d step %d: %d rows incremental, %d rebuilt", seed, step, got.Users(), want.Users())
+	}
+	for u := 0; u < want.Users(); u++ {
+		for s := 0; s < cal.Horizon(); s++ {
+			if ga, wa := got.Available(u, s), want.Available(u, s); ga != wa {
+				t.Fatalf("seed %d step %d: user %d slot %d: available %v, rebuilt says %v", seed, step, u, s, ga, wa)
+			}
+			glo, ghi, gok := got.Run(u, s)
+			wlo, whi, wok := want.Run(u, s)
+			if gok != wok || glo != wlo || ghi != whi {
+				t.Fatalf("seed %d step %d: user %d slot %d: run (%d,%d,%v), rebuilt (%d,%d,%v)",
+					seed, step, u, s, glo, ghi, gok, wlo, whi, wok)
+			}
+		}
+	}
+}
+
+// TestSnapshotImmuneToLaterMutations pins the copy-on-write contract:
+// a snapshot taken before an edit keeps answering from the pre-edit
+// rows, byte for byte, while a snapshot taken after sees the edit.
+func TestSnapshotImmuneToLaterMutations(t *testing.T) {
+	cal := schedule.NewCalendar(2, 12)
+	cal.SetRange(0, 2, 8, true)
+	ix := Build(cal, 0)
+	before := ix.AvailSnapshot()
+	ix.SetRange(0, 4, 6, false)
+	after := ix.AvailSnapshot()
+
+	if lo, hi, ok := before.Run(0, 5); !ok || lo != 2 || hi != 7 {
+		t.Fatalf("pre-edit snapshot mutated: run (%d,%d,%v), want (2,7,true)", lo, hi, ok)
+	}
+	if lo, hi, ok := after.Run(0, 3); !ok || lo != 2 || hi != 3 {
+		t.Fatalf("post-edit snapshot stale: run (%d,%d,%v), want (2,3,true)", lo, hi, ok)
+	}
+	if _, _, ok := after.Run(0, 5); ok {
+		t.Fatal("post-edit snapshot still has slot 5 available")
+	}
+	if before.RowSeq(0) == after.RowSeq(0) {
+		t.Fatal("row seq did not advance across an edit")
+	}
+}
+
+// TestLabelInvalidationPerMutationType pins the "precise invalidation"
+// contract: availability, location, and policy mutations preserve
+// cached distance labels; graph mutations (and AddPerson) drop them.
+func TestLabelInvalidationPerMutationType(t *testing.T) {
+	cal := schedule.NewCalendar(3, 8)
+	ix := Build(cal, 0)
+	dist := []float64{0, 1, 2}
+
+	store := func() { ix.StoreLabel(1, 2, dist) }
+	wantKept := func(op string) {
+		t.Helper()
+		if got, ok := ix.Label(1, 2); !ok {
+			t.Fatalf("%s dropped the label; it invalidates nothing label-related", op)
+		} else if &got[0] != &dist[0] {
+			t.Fatalf("%s returned a different label slice", op)
+		}
+	}
+	wantDropped := func(op string) {
+		t.Helper()
+		if _, ok := ix.Label(1, 2); ok {
+			t.Fatalf("%s kept the label; graph-shape mutations must drop it", op)
+		}
+	}
+
+	store()
+	ix.SetRange(0, 0, 4, true)
+	wantKept("SetRange")
+	ix.Advance()
+	wantKept("Advance")
+
+	store()
+	ix.Connect()
+	wantDropped("Connect")
+	store()
+	ix.Disconnect()
+	wantDropped("Disconnect")
+	store()
+	ix.AddPerson()
+	wantDropped("AddPerson")
+}
+
+// TestLabelCacheFIFOEviction pins the bounded-memory contract: the
+// cache never exceeds its capacity and evicts oldest-first.
+func TestLabelCacheFIFOEviction(t *testing.T) {
+	cal := schedule.NewCalendar(maxLabels+10, 4)
+	ix := Build(cal, 0)
+	for u := 0; u < maxLabels+10; u++ {
+		ix.StoreLabel(u, 1, []float64{float64(u)})
+	}
+	if got := ix.Labels(); got != maxLabels {
+		t.Fatalf("cache holds %d labels, cap is %d", got, maxLabels)
+	}
+	for u := 0; u < 10; u++ {
+		if _, ok := ix.Label(u, 1); ok {
+			t.Fatalf("oldest entry %d survived FIFO eviction", u)
+		}
+	}
+	if _, ok := ix.Label(maxLabels+9, 1); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}

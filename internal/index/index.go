@@ -1,0 +1,137 @@
+// Package index holds the in-process incremental query indexes behind the
+// planner's fast path: per-user availability run-length structures and
+// social-distance landmark labels, both stamped with the mutation sequence
+// number they reflect.
+//
+// The planner (repro's root package) maintains an Index inside the same
+// critical section as its own state, translating each successful mutation
+// into one typed apply call, so a reader holding the planner's read lock
+// always observes index state consistent with the graph and calendar. The
+// invalidation is precise per mutation type:
+//
+//   - SetRange (MutSetAvailable/MutSetBusy) rebuilds only the mutated
+//     user's availability row — copy-on-write, so published rows stay
+//     immutable for lock-free readers — and leaves every distance label
+//     untouched (schedules do not move people on the social graph);
+//   - Connect/Disconnect/AddPerson invalidate the distance labels (the
+//     graph changed) and leave every availability row untouched;
+//   - SetLocation and SetPolicy invalidate nothing: locations live in the
+//     planner's spatial grid and policies are applied as view-time
+//     masking, so the index only advances its sequence stamp.
+//
+// Queries consume the index through two read-side surfaces: Avail (an
+// immutable snapshot implementing the pivot-run lookups of
+// repro/internal/core, Definition 4's per-pivot eligibility in O(1) per
+// vertex) and Label/StoreLabel (cached s-bounded distance vectors that
+// replace the per-query Bellman-Ford of radius-graph extraction for
+// repeat initiators — the "landmark" users of the workload).
+package index
+
+import (
+	"sync"
+
+	"repro/internal/schedule"
+)
+
+// Index is the incremental query index of one planner. All apply methods
+// must be serialized by the owner (the planner's write lock); read
+// methods are safe to call concurrently with each other and with applies.
+type Index struct {
+	mu      sync.RWMutex
+	horizon int
+	seq     uint64 // sequence number of the last mutation applied
+	rows    []*userRuns
+	labels  *labelCache
+}
+
+// Build constructs an Index reflecting cal as of sequence number seq.
+// The calendar is copied; later calendar edits must be fed through
+// SetRange/AddPerson to keep the index current.
+func Build(cal *schedule.Calendar, seq uint64) *Index {
+	ix := &Index{
+		horizon: cal.Horizon(),
+		seq:     seq,
+		rows:    make([]*userRuns, cal.Users()),
+		labels:  newLabelCache(maxLabels),
+	}
+	for u := range ix.rows {
+		ix.rows[u] = buildUserRuns(cal.Row(u).Clone(), ix.horizon, seq)
+	}
+	return ix
+}
+
+// Seq returns the sequence number of the last mutation the index
+// reflects.
+func (ix *Index) Seq() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.seq
+}
+
+// Users returns the number of availability rows tracked.
+func (ix *Index) Users() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.rows)
+}
+
+// AddPerson appends an empty (fully busy) availability row for a newly
+// registered person and drops the distance labels: the distance vectors
+// cached so far are one vertex short.
+func (ix *Index) AddPerson() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.seq++
+	ix.rows = append(ix.rows, buildUserRuns(newRow(ix.horizon), ix.horizon, ix.seq))
+	ix.labels.invalidate()
+}
+
+// SetRange applies one availability edit: person's slots [from, to)
+// become free or busy. Only that person's row is rebuilt (copy-on-write);
+// distance labels survive, schedules being socially inert.
+func (ix *Index) SetRange(person, from, to int, free bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.seq++
+	if person < 0 || person >= len(ix.rows) {
+		return // planner validated the id; tolerate rather than corrupt
+	}
+	row := ix.rows[person].bits.Clone()
+	for t := from; t < to && t < ix.horizon; t++ {
+		if free {
+			row.Add(t)
+		} else {
+			row.Remove(t)
+		}
+	}
+	ix.rows[person] = buildUserRuns(row, ix.horizon, ix.seq)
+	mAvailUpdates.Inc()
+}
+
+// Connect applies a friendship addition: availability rows are untouched,
+// distance labels are dropped (any cached vector may now be an
+// overestimate along the new edge).
+func (ix *Index) Connect() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.seq++
+	ix.labels.invalidate()
+}
+
+// Disconnect applies a friendship removal: availability rows are
+// untouched, distance labels are dropped (any cached vector may now be an
+// underestimate through the removed edge).
+func (ix *Index) Disconnect() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.seq++
+	ix.labels.invalidate()
+}
+
+// Advance records a mutation that invalidates nothing the index holds
+// (SetLocation, SetPolicy): only the sequence stamp moves.
+func (ix *Index) Advance() {
+	ix.mu.Lock()
+	ix.seq++
+	ix.mu.Unlock()
+}

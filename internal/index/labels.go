@@ -1,0 +1,84 @@
+package index
+
+// maxLabels bounds the distance-label cache. Landmarks are discovered by
+// the workload itself — the initiators actually queried — so a small cap
+// covers the hot set while bounding memory on long-tailed populations.
+const maxLabels = 256
+
+// labelKey identifies one cached distance vector: the s-bounded
+// single-source distances from user at radius s.
+type labelKey struct {
+	user   int
+	radius int
+}
+
+// label is one cached distance vector, stamped with the sequence number
+// of the graph state it was computed against.
+type label struct {
+	seq  uint64
+	dist []float64
+}
+
+// labelCache holds the landmark labels with FIFO eviction. Entries are
+// only ever valid for the current graph: any graph mutation drops them
+// all, so a present entry needs no revalidation.
+type labelCache struct {
+	cap     int
+	entries map[labelKey]label
+	order   []labelKey
+}
+
+func newLabelCache(cap int) *labelCache {
+	return &labelCache{cap: cap, entries: make(map[labelKey]label)}
+}
+
+func (c *labelCache) invalidate() {
+	if len(c.entries) == 0 {
+		return
+	}
+	mLabelInvalidations.Add(uint64(len(c.entries)))
+	c.entries = make(map[labelKey]label)
+	c.order = c.order[:0]
+}
+
+// Label returns the cached s-bounded distance vector from user, if one is
+// present. The returned slice is shared and must not be mutated.
+func (ix *Index) Label(user, radius int) ([]float64, bool) {
+	ix.mu.RLock()
+	l, ok := ix.labels.entries[labelKey{user, radius}]
+	ix.mu.RUnlock()
+	if !ok {
+		mLabelMisses.Inc()
+		return nil, false
+	}
+	mLabelHits.Inc()
+	return l.dist, true
+}
+
+// StoreLabel caches the s-bounded distance vector from user as computed
+// against the current graph. The caller must guarantee dist reflects the
+// graph at the index's current sequence number — the planner does so by
+// computing it under the lock that serializes index applies. The slice is
+// retained; callers must not mutate it afterwards.
+func (ix *Index) StoreLabel(user, radius int, dist []float64) {
+	key := labelKey{user, radius}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.labels.entries[key]; !ok {
+		if len(ix.labels.order) >= ix.labels.cap {
+			oldest := ix.labels.order[0]
+			ix.labels.order = ix.labels.order[1:]
+			delete(ix.labels.entries, oldest)
+			mLabelEvictions.Inc()
+		}
+		ix.labels.order = append(ix.labels.order, key)
+	}
+	ix.labels.entries[key] = label{seq: ix.seq, dist: dist}
+}
+
+// Labels returns the number of distance labels currently cached.
+func (ix *Index) Labels() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.labels.entries)
+}

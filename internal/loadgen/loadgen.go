@@ -62,10 +62,15 @@ const (
 	// sticky X-STGQ-Session, so the gateway enforces the read-your-writes
 	// floor of the session's past mutations.
 	ClassRYWRead = "ryw_read"
+	// ClassRepeatRead is a floorless group query drawn from a tiny fixed
+	// initiator pool shared by every worker: the repeat-query regime the
+	// gateway's result cache exists for. Its CacheHits count is the
+	// harness's evidence the cache actually serves.
+	ClassRepeatRead = "repeat_read"
 )
 
 // Classes lists every op class in reporting order.
-var Classes = []string{ClassSGSelect, ClassSTGSelect, ClassGSGSelect, ClassAvail, ClassFriend, ClassRYWRead}
+var Classes = []string{ClassSGSelect, ClassSTGSelect, ClassGSGSelect, ClassAvail, ClassFriend, ClassRYWRead, ClassRepeatRead}
 
 // Mix weighs the op classes; weights are relative (they need not sum to
 // anything particular). A zero-valued Mix means DefaultMix.
@@ -82,21 +87,25 @@ type Mix struct {
 	Friend int
 	// RYWRead weighs session (read-your-writes) reads.
 	RYWRead int
+	// RepeatRead weighs repeat reads from the shared fixed initiator pool
+	// (the result-cache workload).
+	RepeatRead int
 }
 
 // DefaultMix is a read-heavy production-shaped mix: queries dominate,
-// mutations trickle, session reads exercise the RYW path continuously.
-var DefaultMix = Mix{SGSelect: 25, STGSelect: 15, GSGSelect: 10, Avail: 25, Friend: 15, RYWRead: 10}
+// mutations trickle, session reads exercise the RYW path continuously,
+// and a repeat-read share keeps the gateway's result cache in play.
+var DefaultMix = Mix{SGSelect: 20, STGSelect: 15, GSGSelect: 10, Avail: 25, Friend: 15, RYWRead: 10, RepeatRead: 5}
 
 // zero reports whether the mix has no weight at all.
 func (m Mix) zero() bool {
 	return m.SGSelect == 0 && m.STGSelect == 0 && m.GSGSelect == 0 &&
-		m.Avail == 0 && m.Friend == 0 && m.RYWRead == 0
+		m.Avail == 0 && m.Friend == 0 && m.RYWRead == 0 && m.RepeatRead == 0
 }
 
 // weights returns the mix as a slice parallel to Classes.
 func (m Mix) weights() []int {
-	return []int{m.SGSelect, m.STGSelect, m.GSGSelect, m.Avail, m.Friend, m.RYWRead}
+	return []int{m.SGSelect, m.STGSelect, m.GSGSelect, m.Avail, m.Friend, m.RYWRead, m.RepeatRead}
 }
 
 // Config parameterizes one load run.
@@ -139,6 +148,7 @@ type Runner struct {
 	errsTotal    *obsv.CounterVec
 	barriers     *obsv.CounterVec
 	dropped      *obsv.Counter
+	cacheHits    *obsv.CounterVec
 }
 
 // NewRunner validates cfg, fills its defaults and prepares a runner.
@@ -194,6 +204,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 			"expired before the backend caught up to the session's floor.", "class")
 	r.dropped = r.reg.NewCounter("stgq_load_dropped_total",
 		"Open-loop arrivals that could not launch because the in-flight cap was reached.")
+	r.cacheHits = r.reg.NewCounterVec("stgq_load_cache_hits_total",
+		"Responses the gateway served from its result cache (X-STGQ-Cache "+
+			"hit or collapsed) by op class.", "class")
 	return r, nil
 }
 
@@ -348,10 +361,20 @@ func (w *worker) buildLocked(class string) ([]byte, string, bool) {
 		}
 		d := 1 + w.rng.Float64()*9
 		return jsonBody(`{"a":%d,"b":%d,"distance":%.3f}`, p, q, d), "/friendships", true
+	case ClassRepeatRead:
+		// A tiny pool shared by every worker (not per-worker): identical
+		// bodies recur across the whole run, so within the cache TTL the
+		// gateway should answer from the result cache or collapse
+		// concurrent duplicates.
+		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1}`, w.rng.Intn(repeatPoolSize)), "/query/group", false
 	default: // ClassRYWRead
 		return jsonBody(`{"initiator":%d,"p":3,"s":2,"k":1}`, p), "/query/group", true
 	}
 }
+
+// repeatPoolSize is ClassRepeatRead's initiator pool: small enough that
+// every initiator repeats many times per second at any realistic rate.
+const repeatPoolSize = 4
 
 // jsonBody renders a request body from a format string.
 func jsonBody(format string, args ...any) []byte {
@@ -395,6 +418,9 @@ func (r *Runner) issue(ctx context.Context, class, path string, body []byte, wit
 	if !ok {
 		r.errsTotal.With(class).Inc()
 		return
+	}
+	if resp.Header.Get(gateway.CacheHeader) != "" {
+		r.cacheHits.With(class).Inc()
 	}
 	r.e2eSeconds.Observe(e2e)
 	r.opSeconds.With(class).Observe(e2e)

@@ -21,6 +21,9 @@ type ClassStats struct {
 	// expired before the backend caught up to the session's floor. A
 	// staleness signal, not a failure.
 	BarrierTimeouts uint64 `json:"barrierTimeouts"`
+	// CacheHits counts responses the gateway served from its result cache
+	// (X-STGQ-Cache: hit or collapsed) rather than a backend fetch.
+	CacheHits uint64 `json:"cacheHits"`
 	// ThroughputOps is successful ops per second over the run.
 	ThroughputOps float64 `json:"throughputOps"`
 	// MeanSeconds is the mean end-to-end latency of successful ops.
@@ -63,6 +66,9 @@ type Report struct {
 	// TotalBarrierTimeouts counts 412 responses across classes (see
 	// ClassStats.BarrierTimeouts).
 	TotalBarrierTimeouts uint64 `json:"totalBarrierTimeouts"`
+	// TotalCacheHits counts gateway result-cache-served responses across
+	// classes.
+	TotalCacheHits uint64 `json:"totalCacheHits"`
 	// Dropped counts open-loop arrivals shed at the in-flight cap
 	// (always 0 in closed mode); nonzero means the system could not
 	// sustain the offered rate.
@@ -101,6 +107,7 @@ func (r *Runner) report(elapsed time.Duration) *Report {
 			Ops:             r.opsTotal.With(class).Value(),
 			Errors:          r.errsTotal.With(class).Value(),
 			BarrierTimeouts: r.barriers.With(class).Value(),
+			CacheHits:       r.cacheHits.With(class).Value(),
 		}
 		if n := h.Count(); n > 0 {
 			cs.ThroughputOps = float64(n) / secs
@@ -112,6 +119,7 @@ func (r *Runner) report(elapsed time.Duration) *Report {
 		rep.TotalOps += cs.Ops
 		rep.TotalErrors += cs.Errors
 		rep.TotalBarrierTimeouts += cs.BarrierTimeouts
+		rep.TotalCacheHits += cs.CacheHits
 		rep.Classes[class] = cs
 	}
 
@@ -156,15 +164,15 @@ func (r *Runner) stageHistograms() map[string]*obsv.Histogram {
 // attribution table sorted by share.
 func (rep *Report) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "stgqload %s: %d ops in %.1fs (%.1f ops/s), %d errors, %d barrier timeouts, %d dropped\n",
+	fmt.Fprintf(&b, "stgqload %s: %d ops in %.1fs (%.1f ops/s), %d errors, %d barrier timeouts, %d cache hits, %d dropped\n",
 		rep.Mode, rep.TotalOps, rep.DurationSeconds, rep.ThroughputOps,
-		rep.TotalErrors, rep.TotalBarrierTimeouts, rep.Dropped)
-	fmt.Fprintf(&b, "\n%-10s %8s %8s %8s %10s %10s %10s %10s\n",
-		"class", "ops", "err", "412", "thru/s", "p50", "p99", "p999")
+		rep.TotalErrors, rep.TotalBarrierTimeouts, rep.TotalCacheHits, rep.Dropped)
+	fmt.Fprintf(&b, "\n%-11s %8s %8s %8s %8s %10s %10s %10s %10s\n",
+		"class", "ops", "err", "412", "cached", "thru/s", "p50", "p99", "p999")
 	for _, class := range Classes {
 		cs := rep.Classes[class]
-		fmt.Fprintf(&b, "%-10s %8d %8d %8d %10.1f %10s %10s %10s\n",
-			class, cs.Ops, cs.Errors, cs.BarrierTimeouts, cs.ThroughputOps,
+		fmt.Fprintf(&b, "%-11s %8d %8d %8d %8d %10.1f %10s %10s %10s\n",
+			class, cs.Ops, cs.Errors, cs.BarrierTimeouts, cs.CacheHits, cs.ThroughputOps,
 			fmtSec(cs.P50Seconds), fmtSec(cs.P99Seconds), fmtSec(cs.P999Seconds))
 	}
 	names := make([]string, 0, len(rep.Stages))

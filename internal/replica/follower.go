@@ -214,6 +214,11 @@ func (f *Follower) JournalStats() journal.Stats { return f.store().Stats() }
 // store lock.
 func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
 
+// AppliedSeq returns the highest journal sequence number applied to the
+// follower's planner (equal to Status().AppliedSeq, without building the
+// full status).
+func (f *Follower) AppliedSeq() uint64 { return f.applied.Load() }
+
 // WaitApplied blocks until the follower's applied position has reached
 // seq (AppliedSeq >= seq), the context is done, or the follower has
 // stopped replicating for good (closed or sealed for promotion). It is

@@ -38,6 +38,21 @@ const WriteSeqHeader = "X-STGQ-Write-Seq"
 // older than the caller's own writes. Malformed values are a 400.
 const MinSeqHeader = "X-STGQ-Min-Seq"
 
+// AppliedSeqHeader is the response header query endpoints attach on
+// durable servers: a lower bound on the sequence number of the state the
+// answer was computed from (durable seq on leaders, applied seq on
+// followers), captured after the read barrier is satisfied and before
+// the engine runs. A caching layer may treat the response as "valid as
+// of at least this seq" — the state can only have been newer, never
+// older. In-memory servers send no header.
+const AppliedSeqHeader = "X-STGQ-Applied-Seq"
+
+// EpochHeader is the response header carrying the leader epoch of the
+// history the answering server follows, alongside AppliedSeqHeader. A
+// (epoch, seq) pair orders cached results across failovers exactly as
+// replica.CompareSeq orders backends.
+const EpochHeader = "X-STGQ-Epoch"
+
 // DefaultBarrierWait bounds how long a query holding a MinSeqHeader
 // barrier waits for replication to catch up before answering 412. It
 // trades read latency against leader offload: long enough for a healthy
@@ -57,6 +72,28 @@ func (s *Server) noteWriteSeq(w http.ResponseWriter) {
 	s.mu.RUnlock()
 	if st != nil {
 		w.Header().Set(WriteSeqHeader, strconv.FormatUint(st.DurableSeq(), 10))
+	}
+}
+
+// noteAppliedSeq stamps a query response with AppliedSeqHeader and
+// EpochHeader. It must run after awaitMinSeq (so the stamp is at or past
+// any barrier the caller set) and before the response status is written.
+// Capturing the position before the engine runs makes the stamp a
+// conservative lower bound: concurrent mutations can only make the
+// served state newer than the header claims, which is the sound
+// direction for cache admission.
+func (s *Server) noteAppliedSeq(w http.ResponseWriter) {
+	s.mu.RLock()
+	st, fo := s.store, s.follower
+	s.mu.RUnlock()
+	h := w.Header()
+	switch {
+	case fo != nil:
+		h.Set(AppliedSeqHeader, strconv.FormatUint(fo.AppliedSeq(), 10))
+		h.Set(EpochHeader, strconv.FormatUint(fo.Epoch(), 10))
+	case st != nil:
+		h.Set(AppliedSeqHeader, strconv.FormatUint(st.DurableSeq(), 10))
+		h.Set(EpochHeader, strconv.FormatUint(st.Epoch(), 10))
 	}
 }
 

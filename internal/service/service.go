@@ -119,6 +119,7 @@ type Server struct {
 // horizon in slots.
 func New(horizonSlots int) *Server {
 	s := &Server{pl: stgq.NewPlanner(horizonSlots)}
+	s.pl.EnableIndex()
 	s.routes()
 	return s
 }
@@ -126,6 +127,9 @@ func New(horizonSlots int) *Server {
 // NewWithPlanner wraps an existing planner (e.g. one loaded from a dataset
 // file).
 func NewWithPlanner(pl *stgq.Planner) *Server {
+	if !pl.IndexEnabled() {
+		pl.EnableIndex()
+	}
 	s := &Server{pl: pl}
 	s.routes()
 	return s
@@ -577,6 +581,7 @@ func (s *Server) handleGroupQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.awaitMinSeq(w, r) {
 		return
 	}
+	s.noteAppliedSeq(w)
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -604,6 +609,7 @@ func (s *Server) handleActivityQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.awaitMinSeq(w, r) {
 		return
 	}
+	s.noteAppliedSeq(w)
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -639,6 +645,7 @@ func (s *Server) handleGeoQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.awaitMinSeq(w, r) {
 		return
 	}
+	s.noteAppliedSeq(w)
 	var req GeoQueryRequest
 	if !decode(w, r, &req) {
 		return
@@ -675,6 +682,7 @@ func (s *Server) handleManualQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.awaitMinSeq(w, r) {
 		return
 	}
+	s.noteAppliedSeq(w)
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return

@@ -313,6 +313,18 @@ func (g *Graph) ExtractRadiusGraph(q, s int) (*RadiusGraph, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.ExtractRadiusGraphWithDistances(q, dist), nil
+}
+
+// ExtractRadiusGraphWithDistances builds the feasible graph for initiator
+// q from an already-computed s-bounded distance vector — one returned by
+// EdgeMinDistances(q, s) against the current graph, possibly cached by an
+// incremental index (repro/internal/index). It performs no shortest-path
+// work of its own: handing it a vector from a different initiator or a
+// stale graph produces a garbage feasible graph, so callers own that
+// consistency (the planner computes and caches vectors under one lock).
+// q must be a valid vertex and dist must have one entry per vertex.
+func (g *Graph) ExtractRadiusGraphWithDistances(q int, dist []float64) *RadiusGraph {
 	type vd struct {
 		id int
 		d  float64
@@ -359,7 +371,7 @@ func (g *Graph) ExtractRadiusGraph(q, s int) (*RadiusGraph, error) {
 			}
 		}
 	}
-	return rg, nil
+	return rg
 }
 
 // N returns the number of vertices in the feasible graph (initiator

@@ -33,6 +33,7 @@ import (
 var checkedPackages = []string{
 	"internal/gateway",
 	"internal/geo",
+	"internal/index",
 	"internal/replica",
 	"internal/journal",
 	"internal/loadgen",

@@ -24,7 +24,11 @@ var anaSeqEpoch = &analyzer{
 	run:  runSeqEpoch,
 }
 
-var seqEpochDirs = []string{"internal/gateway", "internal/replica"}
+// internal/index is covered too: its sequence stamps mirror the
+// journal's durable seqs (the planner advances them in lock-step), so
+// comparing an index stamp against a replication position is the same
+// cross-history trap as ranking followers by bare seq.
+var seqEpochDirs = []string{"internal/gateway", "internal/replica", "internal/index"}
 
 var orderingOps = map[token.Token]bool{
 	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,

@@ -83,9 +83,10 @@ func TestLockIOCorpus(t *testing.T) {
 // tests are clean.
 func TestSeqEpochCorpus(t *testing.T) {
 	fs, _ := runCorpus(t, "testdata/seqepoch/bad", "seqepoch")
-	wantFindings(t, fs, 2,
+	wantFindings(t, fs, 3,
 		"h.DurableSeq > best.DurableSeq",
-		"a.DurableSeq < b.DurableSeq")
+		"a.DurableSeq < b.DurableSeq",
+		"a.DurableSeq >= b.DurableSeq")
 
 	fs, _ = runCorpus(t, "testdata/seqepoch/good", "seqepoch")
 	wantFindings(t, fs, 0)

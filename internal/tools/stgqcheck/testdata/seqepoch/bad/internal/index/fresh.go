@@ -1,0 +1,13 @@
+package index
+
+type snapshot struct {
+	Epoch      uint64
+	DurableSeq uint64
+}
+
+// fresherThan ranks two snapshots by bare durable seq: across a
+// failover the fenced history's larger seq wins, which is exactly the
+// split-brain ordering the analyzer exists to catch.
+func fresherThan(a, b snapshot) bool {
+	return a.DurableSeq >= b.DurableSeq
+}

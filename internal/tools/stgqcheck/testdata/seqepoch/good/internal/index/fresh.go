@@ -1,0 +1,32 @@
+package index
+
+type snapshot struct {
+	Epoch      uint64
+	DurableSeq uint64
+}
+
+// fresherThan orders snapshots epoch-first through the comparison
+// helper, and coversSeq is an equality test (allowed: == across epochs
+// is a staleness check, not an ordering).
+func fresherThan(a, b snapshot) bool {
+	return compareSeq(a.Epoch, a.DurableSeq, b.Epoch, b.DurableSeq) >= 0
+}
+
+func coversSeq(a, b snapshot) bool {
+	return a.Epoch == b.Epoch && a.DurableSeq == b.DurableSeq
+}
+
+func compareSeq(epochA, seqA, epochB, seqB uint64) int {
+	switch {
+	case epochA != epochB:
+		if epochA < epochB {
+			return -1
+		}
+		return 1
+	case seqA < seqB:
+		return -1
+	case seqA > seqB:
+		return 1
+	}
+	return 0
+}

@@ -116,6 +116,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/index"
 	"repro/internal/ipmodel"
 	"repro/internal/schedule"
 	"repro/internal/socialgraph"
@@ -223,6 +224,7 @@ type Planner struct {
 	policies  map[PersonID]SharePolicy
 	locations map[PersonID]geo.Point
 	grid      *geo.Grid // spatial index over locations; lazily created
+	idx       *index.Index
 	hook      MutationHook
 }
 
@@ -281,12 +283,86 @@ func (pl *Planner) SetMutationHook(h MutationHook) {
 }
 
 // notifyLocked runs the hook for m under the held write lock and returns
-// the hook's wait function (nil without a hook).
+// the hook's wait function (nil without a hook). When the incremental
+// query index is enabled it is maintained here too — inside the same
+// critical section as the state change and the journal's sequence-number
+// assignment, so index state, planner state and seq stamps can never be
+// observed out of step.
 func (pl *Planner) notifyLocked(ctx context.Context, m Mutation) func() error {
+	if pl.idx != nil {
+		applyIndex(pl.idx, m)
+	}
 	if pl.hook == nil {
 		return nil
 	}
 	return pl.hook(ctx, m)
+}
+
+// applyIndex translates one successful mutation into the index's typed
+// apply calls. The mapping encodes the precise invalidation per mutation
+// type: schedule edits rebuild one availability row, graph edits drop the
+// distance labels, and location/policy changes advance the stamp only.
+func applyIndex(ix *index.Index, m Mutation) {
+	switch m.Op {
+	case MutAddPerson:
+		ix.AddPerson()
+	case MutConnect:
+		ix.Connect()
+	case MutDisconnect:
+		ix.Disconnect()
+	case MutSetAvailable:
+		ix.SetRange(int(m.Person), m.From, m.To, true)
+	case MutSetBusy:
+		ix.SetRange(int(m.Person), m.From, m.To, false)
+	case MutSetLocation:
+		// Locations feed the spatial grid, not the availability rows or
+		// distance labels; only the stamp advances.
+		ix.Advance()
+	case MutSetPolicy:
+		// Policies mask the *visible* calendar; the index tracks true
+		// availability and the planner withholds it while any policy is
+		// set, so only the stamp advances.
+		ix.Advance()
+	}
+}
+
+// EnableIndex builds the incremental query index (repro/internal/index)
+// over the planner's current state and keeps it maintained on every later
+// mutation. Queries then serve radius-graph extraction from cached
+// distance labels and pivot-window eligibility from precomputed
+// availability runs instead of recomputing both from scratch. Enabling is
+// idempotent (the index is rebuilt); it cannot be disabled.
+func (pl *Planner) EnableIndex() { pl.EnableIndexAt(0) }
+
+// EnableIndexAt is EnableIndex with an explicit starting sequence number:
+// the coordinate the current state reflects. Durable deployments pass the
+// journal's recovered sequence number, so index stamps line up with
+// journal seqs — the planner applies index updates in the same critical
+// section in which the journal assigns sequence numbers, keeping the two
+// counters in lock-step from then on.
+func (pl *Planner) EnableIndexAt(seq uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.idx = index.Build(pl.calendarLocked(), seq)
+}
+
+// IndexEnabled reports whether the incremental query index is active.
+func (pl *Planner) IndexEnabled() bool {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.idx != nil
+}
+
+// IndexStats reports the index's current position and label count (both
+// zero when the index is disabled) for status endpoints and tests.
+func (pl *Planner) IndexStats() (seq uint64, labels int) {
+	pl.mu.RLock()
+	ix := pl.idx
+	pl.mu.RUnlock()
+	if ix == nil {
+		return 0, 0
+	}
+	return ix.Seq(), ix.Labels()
 }
 
 // MaxNameLen bounds display names (in bytes). Keeping names bounded here
@@ -575,12 +651,12 @@ func (pl *Planner) Export(onLocked func()) *dataset.Dataset {
 // runs without holding any lock. Extraction and masking only read planner
 // state, so concurrent queries share a read lock; the write lock is taken
 // only when the calendar cache must be (re)materialized.
-func (pl *Planner) queryView(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, error) {
+func (pl *Planner) queryView(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, core.PivotRuns, error) {
 	pl.mu.RLock()
 	if !withCalendar || (!pl.calDirty && pl.cal != nil) {
-		rg, cal, err := pl.viewRLocked(initiator, s, withCalendar)
+		rg, cal, runs, err := pl.viewRLocked(initiator, s, withCalendar)
 		pl.mu.RUnlock()
-		return rg, cal, err
+		return rg, cal, runs, err
 	}
 	pl.mu.RUnlock()
 
@@ -592,28 +668,58 @@ func (pl *Planner) queryView(initiator PersonID, s int, withCalendar bool) (*soc
 
 // viewRLocked builds the immutable query view. The caller holds at least
 // the read lock, and when withCalendar is set the calendar cache is
-// already materialized.
-func (pl *Planner) viewRLocked(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, error) {
+// already materialized. The returned PivotRuns provider (nil when the
+// index is disabled or privacy masking is in play) is a snapshot captured
+// under the same lock as the calendar, so the two always agree.
+func (pl *Planner) viewRLocked(initiator PersonID, s int, withCalendar bool) (*socialgraph.RadiusGraph, *schedule.Calendar, core.PivotRuns, error) {
 	if int(initiator) < 0 || int(initiator) >= pl.g.NumVertices() {
-		return nil, nil, fmt.Errorf("%w: person %d", ErrPersonNotFound, initiator)
+		return nil, nil, nil, fmt.Errorf("%w: person %d", ErrPersonNotFound, initiator)
 	}
 	if s < 1 {
-		return nil, nil, fmt.Errorf("%w: social radius s=%d < 1", ErrBadQuery, s)
+		return nil, nil, nil, fmt.Errorf("%w: social radius s=%d < 1", ErrBadQuery, s)
 	}
-	rg, err := pl.g.ExtractRadiusGraph(int(initiator), s)
+	rg, err := pl.radiusGraphRLocked(int(initiator), s)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var cal *schedule.Calendar
+	var runs core.PivotRuns
 	if withCalendar {
 		cal = pl.visibleCalendarLocked(initiator)
+		// Privacy masking blanks hidden rows in the visible calendar; the
+		// index tracks true availability, so masked views fall back to
+		// row walks rather than leak an invisible schedule's runs.
+		if pl.idx != nil && len(pl.policies) == 0 {
+			runs = pl.idx.AvailSnapshot()
+		}
 	}
-	return rg, cal, nil
+	return rg, cal, runs, nil
+}
+
+// radiusGraphRLocked extracts the feasible graph for one query, serving
+// the s-bounded distance vector from the index's landmark labels when one
+// is cached (graph mutations drop the labels, so a present entry is
+// always current) and caching the vector it computed on a miss. The
+// caller holds at least the read lock, which serializes the lookup
+// against graph mutations and index invalidation alike.
+func (pl *Planner) radiusGraphRLocked(q, s int) (*socialgraph.RadiusGraph, error) {
+	if pl.idx == nil {
+		return pl.g.ExtractRadiusGraph(q, s)
+	}
+	if dist, ok := pl.idx.Label(q, s); ok {
+		return pl.g.ExtractRadiusGraphWithDistances(q, dist), nil
+	}
+	dist, err := pl.g.EdgeMinDistances(q, s)
+	if err != nil {
+		return nil, err
+	}
+	pl.idx.StoreLabel(q, s, dist)
+	return pl.g.ExtractRadiusGraphWithDistances(q, dist), nil
 }
 
 // FindGroup answers a social group query.
 func (pl *Planner) FindGroup(q SGQuery) (*GroupResult, error) {
-	rg, _, err := pl.queryView(q.Initiator, q.S, false)
+	rg, _, _, err := pl.queryView(q.Initiator, q.S, false)
 	if err != nil {
 		return nil, err
 	}
@@ -640,12 +746,13 @@ func (pl *Planner) FindGroup(q SGQuery) (*GroupResult, error) {
 
 // PlanActivity answers a social-temporal group query.
 func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
-	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
+	rg, cal, runs, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return nil, err
 	}
 	calUser := dataset.CalUsers(rg)
 	opts := q.options()
+	opts.Runs = runs
 	var (
 		ans   *core.STGroup
 		stats core.Stats
@@ -678,7 +785,7 @@ func (pl *Planner) PlanActivity(q STGQuery) (*PlanResult, error) {
 // against (PCArrange, Section 5.1). The result reports the observed
 // acquaintance bound k_h of the manually assembled group.
 func (pl *Planner) PlanManually(q STGQuery) (*ManualPlan, error) {
-	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
+	rg, cal, _, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return nil, err
 	}
@@ -702,11 +809,13 @@ func (pl *Planner) PlanManually(q STGQuery) (*ManualPlan, error) {
 // planner matches or beats the target total distance (typically the manual
 // plan's), returning that k and the plan.
 func (pl *Planner) PlanWithSmallestK(q STGQuery, targetDistance float64) (int, *PlanResult, error) {
-	rg, cal, err := pl.queryView(q.Initiator, q.S, true)
+	rg, cal, runs, err := pl.queryView(q.Initiator, q.S, true)
 	if err != nil {
 		return 0, nil, err
 	}
-	res, err := coordinate.STGArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M, targetDistance, q.P-1, q.options())
+	opts := q.options()
+	opts.Runs = runs
+	res, err := coordinate.STGArrange(rg, cal, dataset.CalUsers(rg), q.P, q.M, targetDistance, q.P-1, opts)
 	if err != nil {
 		return 0, nil, err
 	}
